@@ -1,0 +1,226 @@
+// Package afdx computes worst-case end-to-end delay bounds for AFDX
+// (ARINC 664 part 7) avionics networks, reproducing Bauer, Scharbarg &
+// Fraboul, "Worst-case end-to-end delay analysis of an avionics AFDX
+// network" (DATE 2010).
+//
+// The package bundles:
+//
+//   - a structural model of AFDX configurations (end systems, switches,
+//     multicast Virtual Links with BAG / s_min / s_max contracts);
+//   - the Network Calculus analysis used for certification, with the
+//     grouping (serialization) refinement;
+//   - the Trajectory approach (busy-period response-time analysis),
+//     with the same refinement;
+//   - the combined analysis that keeps the tighter bound per VL path —
+//     the paper's primary contribution;
+//   - a discrete-event simulator producing achievable delays;
+//   - a generator of synthetic industrial-scale configurations matching
+//     the published statistics of the (proprietary) Airbus network.
+//
+// # Quick start
+//
+//	net := afdx.Figure2Config()              // the paper's sample network
+//	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+//	cmp, err := afdx.Compare(pg)             // both analyses, per path
+//	s := cmp.Summary()                       // Table I statistics
+//
+// The internal packages hold the implementations; this package is the
+// stable public surface re-exporting them.
+package afdx
+
+import (
+	iafdx "afdx/internal/afdx"
+	"afdx/internal/configgen"
+	"afdx/internal/core"
+	"afdx/internal/exact"
+	"afdx/internal/netcalc"
+	"afdx/internal/sim"
+	"afdx/internal/trajectory"
+)
+
+// Network model types.
+type (
+	// Network is a static AFDX configuration.
+	Network = iafdx.Network
+	// VirtualLink is an ARINC 664 Virtual Link with its traffic contract
+	// and multicast routing.
+	VirtualLink = iafdx.VirtualLink
+	// Params carries the physical parameters (link rate, latencies).
+	Params = iafdx.Params
+	// PathID identifies one (VL, destination) end-to-end path.
+	PathID = iafdx.PathID
+	// PortID identifies an output port by its directed link.
+	PortID = iafdx.PortID
+	// Port is one FIFO output port with its competing flows.
+	Port = iafdx.Port
+	// PortGraph is the derived, analysable port-level view of a Network.
+	PortGraph = iafdx.PortGraph
+	// Stats summarises a configuration.
+	Stats = iafdx.Stats
+	// ValidationMode selects Strict or Relaxed contract validation.
+	ValidationMode = iafdx.ValidationMode
+)
+
+// Validation modes.
+const (
+	// Strict enforces the full ARINC 664 contract (power-of-two BAGs,
+	// Ethernet frame bounds).
+	Strict = iafdx.Strict
+	// Relaxed allows the out-of-standard values used by the paper's
+	// parametric sweeps.
+	Relaxed = iafdx.Relaxed
+)
+
+// DefaultParams returns the paper's physical parameters: 100 Mb/s links,
+// 16 us technological latency per output port.
+func DefaultParams() Params { return iafdx.DefaultParams() }
+
+// BuildPortGraph validates a configuration and derives its port graph.
+func BuildPortGraph(n *Network, mode ValidationMode) (*PortGraph, error) {
+	return iafdx.BuildPortGraph(n, mode)
+}
+
+// LoadJSON reads and validates a configuration file.
+func LoadJSON(path string, mode ValidationMode) (*Network, error) {
+	return iafdx.LoadJSON(path, mode)
+}
+
+// Figure1Config returns a reconstruction of the paper's illustrative
+// Figure 1 configuration.
+func Figure1Config() *Network { return iafdx.Figure1Config() }
+
+// Figure2Config returns the paper's Figure 2 sample configuration.
+func Figure2Config() *Network { return iafdx.Figure2Config() }
+
+// Network Calculus analysis.
+type (
+	// NCOptions selects Network Calculus variants (grouping, propagation).
+	NCOptions = netcalc.Options
+	// NCResult carries per-port and per-path Network Calculus bounds.
+	NCResult = netcalc.Result
+)
+
+// DefaultNCOptions matches the paper's WCNC column (grouping enabled).
+func DefaultNCOptions() NCOptions { return netcalc.DefaultOptions() }
+
+// AnalyzeNC runs the Network Calculus analysis.
+func AnalyzeNC(pg *PortGraph, opts NCOptions) (*NCResult, error) {
+	return netcalc.Analyze(pg, opts)
+}
+
+// Trajectory analysis.
+type (
+	// TrajectoryOptions selects Trajectory variants (grouping, transition
+	// term placement, prefix bounding).
+	TrajectoryOptions = trajectory.Options
+	// TrajectoryResult carries per-path Trajectory bounds and details.
+	TrajectoryResult = trajectory.Result
+)
+
+// DefaultTrajectoryOptions matches the paper's Trajectory column.
+func DefaultTrajectoryOptions() TrajectoryOptions { return trajectory.DefaultOptions() }
+
+// AnalyzeTrajectory runs the Trajectory analysis.
+func AnalyzeTrajectory(pg *PortGraph, opts TrajectoryOptions) (*TrajectoryResult, error) {
+	return trajectory.Analyze(pg, opts)
+}
+
+// TrajectoryExplanation decomposes one path's trajectory bound into its
+// interference, transition and latency terms.
+type TrajectoryExplanation = trajectory.Explanation
+
+// ExplainTrajectory returns the term-by-term decomposition of one
+// path's trajectory bound (the reviewable certification witness).
+func ExplainTrajectory(pg *PortGraph, pid PathID, opts TrajectoryOptions) (*TrajectoryExplanation, error) {
+	return trajectory.Explain(pg, pid, opts)
+}
+
+// NCExplanation decomposes one path's Network Calculus bound into its
+// per-port terms.
+type NCExplanation = netcalc.PathExplanation
+
+// ExplainNC returns the per-port decomposition of one path's Network
+// Calculus bound.
+func ExplainNC(pg *PortGraph, pid PathID, opts NCOptions) (*NCExplanation, error) {
+	return netcalc.Explain(pg, pid, opts)
+}
+
+// Combined comparison (the paper's primary contribution).
+type (
+	// Comparison is the per-path comparison of both methods.
+	Comparison = core.Comparison
+	// PathComparison carries one path's three bounds and benefits.
+	PathComparison = core.PathComparison
+	// ComparisonSummary is the Table I statistics structure.
+	ComparisonSummary = core.Summary
+)
+
+// Compare runs both analyses with paper defaults and assembles the
+// per-path comparison; Comparison.Summary yields Table I, ByBAG Figure 5
+// and BySmax Figure 6.
+func Compare(pg *PortGraph) (*Comparison, error) { return core.Compare(pg) }
+
+// CompareWith runs both analyses with explicit options.
+func CompareWith(pg *PortGraph, nc NCOptions, tr TrajectoryOptions) (*Comparison, error) {
+	return core.CompareWith(pg, nc, tr)
+}
+
+// Simulation.
+type (
+	// SimConfig parameterises a simulation run.
+	SimConfig = sim.Config
+	// SimResult carries observed per-path delays.
+	SimResult = sim.Result
+	// SourceModel selects the simulated emission behaviour.
+	SourceModel = sim.SourceModel
+)
+
+// Source models.
+const (
+	// GreedySources emit a frame every BAG (maximum contracted load).
+	GreedySources = sim.GreedySources
+	// PeriodicJitterSources add per-frame random emission jitter.
+	PeriodicJitterSources = sim.PeriodicJitterSources
+)
+
+// DefaultSimConfig simulates greedy sources with random offsets.
+func DefaultSimConfig(seed int64) SimConfig { return sim.DefaultConfig(seed) }
+
+// Simulate runs the discrete-event simulator.
+func Simulate(pg *PortGraph, cfg SimConfig) (*SimResult, error) { return sim.Run(pg, cfg) }
+
+// Synthetic industrial configurations.
+type (
+	// GeneratorSpec parameterises the synthetic configuration generator.
+	GeneratorSpec = configgen.Spec
+)
+
+// DefaultGeneratorSpec reproduces the published statistics of the
+// paper's industrial configuration for a seed.
+func DefaultGeneratorSpec(seed int64) GeneratorSpec { return configgen.DefaultSpec(seed) }
+
+// Generate builds a synthetic industrial configuration.
+func Generate(spec GeneratorSpec) (*Network, error) { return configgen.Generate(spec) }
+
+// Mirror materialises the ARINC 664 dual-network (A/B) redundancy of a
+// configuration: two isomorphic sub-networks, every VL duplicated.
+func Mirror(n *Network) (*Network, error) { return configgen.Mirror(n) }
+
+// Exact worst-case search (offset exploration; small configurations).
+type (
+	// ExactOptions parameterises the offset search.
+	ExactOptions = exact.Options
+	// ExactResult carries the worst achievable delays found and their
+	// witness offset assignments.
+	ExactResult = exact.Result
+)
+
+// DefaultExactOptions uses an eighth-of-BAG grid with refinement.
+func DefaultExactOptions() ExactOptions { return exact.DefaultOptions() }
+
+// SearchWorstCase explores source emission offsets with the simulator
+// and returns achievable worst-case delays per path (lower bounds that
+// sandwich the analytic upper bounds).
+func SearchWorstCase(pg *PortGraph, opts ExactOptions) (*ExactResult, error) {
+	return exact.Search(pg, opts)
+}

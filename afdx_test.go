@@ -1,0 +1,100 @@
+package afdx_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"afdx"
+)
+
+// The facade tests exercise the full public workflow end to end; the
+// numerical correctness of each engine is covered by the internal
+// package tests.
+func TestFacadeQuickstartWorkflow(t *testing.T) {
+	net := afdx.Figure2Config()
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := afdx.Compare(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cmp.Summary()
+	if s.NumPaths != 5 {
+		t.Errorf("paths = %d, want 5", s.NumPaths)
+	}
+	if s.MeanBestPct < 0 {
+		t.Errorf("combined benefit = %g%%, want >= 0", s.MeanBestPct)
+	}
+}
+
+func TestFacadeAnalyses(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := afdx.AnalyzeNC(pg, afdx.DefaultNCOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := afdx.AnalyzeTrajectory(pg, afdx.DefaultTrajectoryOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := afdx.PathID{VL: "v1", PathIdx: 0}
+	if nc.PathDelays[pid] <= 0 || tr.PathDelays[pid] <= 0 {
+		t.Error("bounds must be positive")
+	}
+	if tr.PathDelays[pid] >= nc.PathDelays[pid] {
+		t.Error("trajectory should win on the sample configuration")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := afdx.DefaultSimConfig(1)
+	cfg.DurationUs = 8000
+	res, err := afdx.Simulate(pg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesEmitted == 0 || res.MaxDelayUs() <= 0 {
+		t.Error("simulation should deliver frames")
+	}
+}
+
+func TestFacadeGeneratorAndCodec(t *testing.T) {
+	spec := afdx.DefaultGeneratorSpec(42)
+	spec.NumVLs = 30
+	spec.NumSwitches = 3
+	spec.ESPerSwitch = 3
+	net, err := afdx.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gen.json")
+	if err := net.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := afdx.LoadJSON(path, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != net.Name || len(loaded.VLs) != len(net.VLs) {
+		t.Error("round trip mismatch via facade")
+	}
+}
+
+func TestFacadeFigure1(t *testing.T) {
+	if _, err := afdx.BuildPortGraph(afdx.Figure1Config(), afdx.Strict); err != nil {
+		t.Fatal(err)
+	}
+	p := afdx.DefaultParams()
+	if p.LinkRateMbps != 100 {
+		t.Errorf("default rate = %g", p.LinkRateMbps)
+	}
+}

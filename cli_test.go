@@ -1,0 +1,156 @@
+package afdx_test
+
+// End-to-end tests of the command-line tools: each binary is compiled
+// once into a temporary directory and driven through its main flag
+// combinations against a real configuration file.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"afdx"
+)
+
+var (
+	cliOnce  sync.Once
+	cliDir   string
+	cliErr   error
+	cliTools = []string{"afdx-gen", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact"}
+)
+
+// buildCLIs compiles every command once per test binary invocation.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "afdx-cli")
+		if cliErr != nil {
+			return
+		}
+		for _, tool := range cliTools {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				cliErr = err
+				cliDir = string(out)
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v (%s)", cliErr, cliDir)
+	}
+	return cliDir
+}
+
+// sampleConfig writes the Figure 2 configuration to a temp file.
+func sampleConfig(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sample.json")
+	if err := afdx.Figure2Config().SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGen(t *testing.T) {
+	dir := buildCLIs(t)
+	out := runCLI(t, dir, "afdx-gen", "-seed", "3", "-vls", "25", "-switches", "3",
+		"-es-per-switch", "2", "-quiet")
+	if !strings.Contains(out, `"vls"`) {
+		t.Errorf("gen output is not a configuration:\n%s", out)
+	}
+	dot := runCLI(t, dir, "afdx-gen", "-seed", "3", "-vls", "10", "-switches", "2",
+		"-es-per-switch", "2", "-quiet", "-dot")
+	if !strings.Contains(dot, "digraph") {
+		t.Errorf("expected DOT output:\n%s", dot)
+	}
+	red := runCLI(t, dir, "afdx-gen", "-seed", "3", "-vls", "10", "-switches", "2",
+		"-es-per-switch", "2", "-quiet", "-redundant")
+	if !strings.Contains(red, "-redundant") || !strings.Contains(red, `"v0001A"`) {
+		t.Errorf("expected mirrored configuration:\n%.400s", red)
+	}
+}
+
+func TestCLIBounds(t *testing.T) {
+	dir := buildCLIs(t)
+	cfg := sampleConfig(t)
+	out := runCLI(t, dir, "afdx-bounds", "-config", cfg)
+	for _, frag := range []string{"v1/0", "293.06", "248.00", "15.38%"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("bounds output missing %q:\n%s", frag, out)
+		}
+	}
+	csv := runCLI(t, dir, "afdx-bounds", "-config", cfg, "-csv", "-method", "nc")
+	if !strings.Contains(csv, "path,WCNC (us)") {
+		t.Errorf("CSV header missing:\n%s", csv)
+	}
+	extra := runCLI(t, dir, "afdx-bounds", "-config", cfg, "-jitter", "-backlog", "-es-jitter")
+	for _, frag := range []string{"jitter (us)", "backlog (bits)", "end system"} {
+		if !strings.Contains(extra, frag) {
+			t.Errorf("extended output missing %q:\n%s", frag, extra)
+		}
+	}
+}
+
+func TestCLISim(t *testing.T) {
+	dir := buildCLIs(t)
+	cfg := sampleConfig(t)
+	out := runCLI(t, dir, "afdx-sim", "-config", cfg, "-duration-ms", "64", "-compare")
+	for _, frag := range []string{"v1/0", "WCNC (us)", "emitted"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("sim output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCLIExperimentsList(t *testing.T) {
+	dir := buildCLIs(t)
+	out := runCLI(t, dir, "afdx-experiments", "-list")
+	for _, id := range []string{"fig3", "table1", "fig9", "ablation", "priority"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("experiment list missing %q:\n%s", id, out)
+		}
+	}
+	fig8 := runCLI(t, dir, "afdx-experiments", "-exp", "fig8")
+	if !strings.Contains(fig8, "248.00") {
+		t.Errorf("fig8 output missing the flat trajectory value:\n%s", fig8)
+	}
+}
+
+func TestCLIExact(t *testing.T) {
+	dir := buildCLIs(t)
+	cfg := sampleConfig(t)
+	out := runCLI(t, dir, "afdx-exact", "-config", cfg, "-grid-us", "1000", "-refine", "4")
+	for _, frag := range []string{"achievable (us)", "WCNC bound (us)", "evaluations"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exact output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	dir := buildCLIs(t)
+	// Missing -config must exit non-zero.
+	cmd := exec.Command(filepath.Join(dir, "afdx-bounds"))
+	if err := cmd.Run(); err == nil {
+		t.Error("afdx-bounds without -config should fail")
+	}
+	cmd = exec.Command(filepath.Join(dir, "afdx-experiments"), "-exp", "nope")
+	if err := cmd.Run(); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,210 @@
+// Command afdx-bounds computes worst-case end-to-end delay bounds for
+// every Virtual Link path of an AFDX configuration, using the Network
+// Calculus analysis, the Trajectory approach, or both (keeping the best
+// bound per path, the paper's combined method).
+//
+// Usage:
+//
+//	afdx-bounds -config net.json                 # both methods + best
+//	afdx-bounds -config net.json -method nc      # Network Calculus only
+//	afdx-bounds -config net.json -no-grouping    # disable serialization
+//	afdx-bounds -config net.json -csv > out.csv  # machine-readable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"afdx"
+	"afdx/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("afdx-bounds: ")
+	var (
+		config     = flag.String("config", "", "network configuration JSON (required)")
+		method     = flag.String("method", "both", "nc | trajectory | both")
+		noGrouping = flag.Bool("no-grouping", false, "disable the grouping (serialization) technique")
+		relaxed    = flag.Bool("relaxed", false, "relax ARINC 664 contract validation")
+		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
+		backlog    = flag.Bool("backlog", false, "also print per-port backlog bounds (NC)")
+		jitter     = flag.Bool("jitter", false, "also print per-path jitter (bound minus idle-network floor)")
+		esJitter   = flag.Bool("es-jitter", false, "also print the ARINC 664 end-system output jitter report")
+		explain    = flag.String("explain", "", "print the trajectory bound decomposition of one path (e.g. v1/0)")
+	)
+	flag.Parse()
+	if *config == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mode := afdx.Strict
+	if *relaxed {
+		mode = afdx.Relaxed
+	}
+	net, err := afdx.LoadJSON(*config, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(net, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ncOpts := afdx.DefaultNCOptions()
+	trOpts := afdx.DefaultTrajectoryOptions()
+	ncOpts.Grouping = !*noGrouping
+	trOpts.Grouping = !*noGrouping
+
+	var (
+		ncDelays, trDelays map[afdx.PathID]float64
+		ncRes              *afdx.NCResult
+	)
+	if *method == "nc" || *method == "both" {
+		ncRes, err = afdx.AnalyzeNC(pg, ncOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ncDelays = ncRes.PathDelays
+	}
+	if *method == "trajectory" || *method == "both" {
+		tr, err := afdx.AnalyzeTrajectory(pg, trOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trDelays = tr.PathDelays
+	}
+	if ncDelays == nil && trDelays == nil {
+		log.Fatalf("unknown method %q (want nc, trajectory or both)", *method)
+	}
+
+	paths := net.AllPaths()
+	sort.Slice(paths, func(i, j int) bool {
+		if paths[i].VL != paths[j].VL {
+			return paths[i].VL < paths[j].VL
+		}
+		return paths[i].PathIdx < paths[j].PathIdx
+	})
+
+	headers := []string{"path"}
+	if ncDelays != nil {
+		headers = append(headers, "WCNC (us)")
+	}
+	if trDelays != nil {
+		headers = append(headers, "Trajectory (us)")
+	}
+	if ncDelays != nil && trDelays != nil {
+		headers = append(headers, "Best (us)", "benefit")
+	}
+	if *jitter {
+		headers = append(headers, "jitter (us)")
+	}
+	rows := make([][]string, 0, len(paths))
+	for _, pid := range paths {
+		row := []string{pid.String()}
+		best := 0.0
+		if ncDelays != nil {
+			best = ncDelays[pid]
+			row = append(row, report.Us(ncDelays[pid]))
+		}
+		if trDelays != nil {
+			if best == 0 || trDelays[pid] < best {
+				best = trDelays[pid]
+			}
+			row = append(row, report.Us(trDelays[pid]))
+		}
+		if ncDelays != nil && trDelays != nil {
+			row = append(row,
+				report.Us(best),
+				report.Pct((ncDelays[pid]-trDelays[pid])/ncDelays[pid]*100))
+		}
+		if *jitter {
+			floor, err := pg.MinPathDelayUs(pid)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, report.Us(best-floor))
+		}
+		rows = append(rows, row)
+	}
+	emit := report.Table
+	if *csv {
+		emit = report.CSV
+	}
+	if err := emit(os.Stdout, headers, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	if *explain != "" {
+		var vl string
+		var idx int
+		if n, err := fmt.Sscanf(*explain, "%s", &vl); n != 1 || err != nil {
+			log.Fatalf("bad -explain value %q (want vl/pathIdx)", *explain)
+		}
+		if i := strings.LastIndex(*explain, "/"); i > 0 {
+			vl = (*explain)[:i]
+			fmt.Sscanf((*explain)[i+1:], "%d", &idx)
+		} else {
+			vl = *explain
+		}
+		pid := afdx.PathID{VL: vl, PathIdx: idx}
+		fmt.Println()
+		if ncEx, err := afdx.ExplainNC(pg, pid, ncOpts); err == nil {
+			if err := ncEx.Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+		ex, err := afdx.ExplainTrajectory(pg, pid, trOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ex.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *esJitter {
+		fmt.Println()
+		fmt.Println("ARINC 664 end-system output jitter (cap 500 us):")
+		jrows := [][]string{}
+		for _, r := range net.ESJitterReport() {
+			status := "ok"
+			if !r.Compliant {
+				status = "EXCEEDS CAP"
+			}
+			jrows = append(jrows, []string{r.EndSystem, report.Int(r.NumVLs), report.Us(r.JitterUs), status})
+		}
+		if err := emit(os.Stdout, []string{"end system", "VLs", "jitter (us)", "status"}, jrows); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *backlog && ncRes != nil {
+		fmt.Println()
+		fmt.Println("Per-port backlog bounds (switch buffer dimensioning):")
+		ids := make([]afdx.PortID, 0, len(ncRes.Ports))
+		for id := range ncRes.Ports {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+		brows := make([][]string, 0, len(ids))
+		for _, id := range ids {
+			p := ncRes.Ports[id]
+			brows = append(brows, []string{
+				id.String(),
+				fmt.Sprintf("%.0f", p.BacklogBits),
+				fmt.Sprintf("%.0f", p.BacklogBits/8),
+				fmt.Sprintf("%.1f%%", p.Utilization*100),
+				report.Us(p.DelayUs),
+			})
+		}
+		if err := emit(os.Stdout, []string{"port", "backlog (bits)", "backlog (bytes)", "utilization", "delay (us)"}, brows); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command afdx-experiments regenerates the tables and figures of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	afdx-experiments                # run everything, in paper order
+//	afdx-experiments -exp table1    # one experiment
+//	afdx-experiments -list          # list experiment IDs
+//	afdx-experiments -seed 7        # different synthetic configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"afdx/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("afdx-experiments: ")
+	var (
+		exp  = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		seed = flag.Int64("seed", 1, "seed of the synthetic industrial configuration")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	run := func(e experiments.Experiment) {
+		fmt.Printf("=== %s: %s ===\n\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, *seed); err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Println()
+	}
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		log.Fatalf("unknown experiment %q (use -list)", *exp)
+	}
+	run(e)
+}

@@ -1,0 +1,83 @@
+// Command afdx-gen generates a synthetic industrial-scale AFDX
+// configuration with the statistics of the paper's Airbus network and
+// writes it as JSON.
+//
+// Usage:
+//
+//	afdx-gen -seed 1 -out industrial.json
+//	afdx-gen -seed 1 -vls 200 -switches 4 -es-per-switch 6 -out small.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"afdx"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("afdx-gen: ")
+	var (
+		seed      = flag.Int64("seed", 1, "generator seed (same seed, same network)")
+		out       = flag.String("out", "", "output file (default: stdout)")
+		vls       = flag.Int("vls", 0, "override the number of VLs")
+		switches  = flag.Int("switches", 0, "override the number of switches")
+		esPerSw   = flag.Int("es-per-switch", 0, "override end systems per switch")
+		maxUtil   = flag.Float64("max-utilization", 0, "override the admission ceiling (0..1)")
+		quiet     = flag.Bool("quiet", false, "do not print the configuration statistics")
+		dot       = flag.Bool("dot", false, "emit Graphviz DOT topology instead of JSON")
+		redundant = flag.Bool("redundant", false, "mirror into the dual A/B network (ARINC 664 redundancy)")
+	)
+	flag.Parse()
+
+	spec := afdx.DefaultGeneratorSpec(*seed)
+	if *vls > 0 {
+		spec.NumVLs = *vls
+	}
+	if *switches > 0 {
+		spec.NumSwitches = *switches
+	}
+	if *esPerSw > 0 {
+		spec.ESPerSwitch = *esPerSw
+	}
+	if *maxUtil > 0 {
+		spec.MaxUtilization = *maxUtil
+	}
+	net, err := afdx.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *redundant {
+		net, err = afdx.Mirror(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, net.ComputeStats())
+		if err := net.ValidateESJitter(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		}
+	}
+	if *dot {
+		if err := net.WriteDOT(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		if err := net.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := net.SaveJSON(*out); err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}

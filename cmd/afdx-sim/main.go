@@ -1,0 +1,131 @@
+// Command afdx-sim runs the discrete-event AFDX simulator on a
+// configuration and reports observed end-to-end delays per VL path,
+// optionally against the analytic bounds.
+//
+// Usage:
+//
+//	afdx-sim -config net.json -duration-ms 1280 -seed 3
+//	afdx-sim -config net.json -compare          # also print both bounds
+//	afdx-sim -config net.json -policing -policing-rate 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"afdx"
+	"afdx/internal/report"
+	"afdx/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("afdx-sim: ")
+	var (
+		config     = flag.String("config", "", "network configuration JSON (required)")
+		durationMs = flag.Float64("duration-ms", 1280, "simulated horizon in milliseconds")
+		seed       = flag.Int64("seed", 1, "seed for offsets, jitter and frame sizes")
+		jitterUs   = flag.Float64("jitter-us", 0, "per-frame emission jitter (enables sporadic sources)")
+		randomSz   = flag.Bool("random-sizes", false, "draw frame sizes uniformly in [s_min, s_max]")
+		policing   = flag.Bool("policing", false, "enable per-VL ingress policing")
+		polRate    = flag.Float64("policing-rate", 1, "policer rate factor (<1 models a misbehaving source)")
+		compare    = flag.Bool("compare", false, "also print the analytic bounds per path")
+		relaxed    = flag.Bool("relaxed", false, "relax ARINC 664 contract validation")
+		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
+		histogram  = flag.String("histogram", "", "print the delay distribution of one path (e.g. v1/0)")
+	)
+	flag.Parse()
+	if *config == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mode := afdx.Strict
+	if *relaxed {
+		mode = afdx.Relaxed
+	}
+	net, err := afdx.LoadJSON(*config, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(net, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := afdx.DefaultSimConfig(*seed)
+	cfg.DurationUs = *durationMs * 1000
+	cfg.RandomSizes = *randomSz
+	cfg.Policing = *policing
+	cfg.PolicingRateFactor = *polRate
+	cfg.RecordFrames = *histogram != ""
+	if *jitterUs > 0 {
+		cfg.Model = afdx.PeriodicJitterSources
+		cfg.JitterUs = *jitterUs
+	}
+	res, err := afdx.Simulate(pg, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var cmp *afdx.Comparison
+	if *compare {
+		cmp, err = afdx.Compare(pg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	paths := net.AllPaths()
+	sort.Slice(paths, func(i, j int) bool {
+		if paths[i].VL != paths[j].VL {
+			return paths[i].VL < paths[j].VL
+		}
+		return paths[i].PathIdx < paths[j].PathIdx
+	})
+	headers := []string{"path", "frames", "min (us)", "mean (us)", "max (us)"}
+	if cmp != nil {
+		headers = append(headers, "WCNC (us)", "Trajectory (us)")
+	}
+	rows := make([][]string, 0, len(paths))
+	for _, pid := range paths {
+		st := res.Paths[pid]
+		row := []string{
+			pid.String(), report.Int(st.Frames),
+			report.Us(st.MinDelayUs), report.Us(st.MeanDelayUs()), report.Us(st.MaxDelayUs),
+		}
+		if cmp != nil {
+			pc := cmp.PerPath[pid]
+			row = append(row, report.Us(pc.NCUs), report.Us(pc.TrajectoryUs))
+		}
+		rows = append(rows, row)
+	}
+	emit := report.Table
+	if *csv {
+		emit = report.CSV
+	}
+	if err := emit(os.Stdout, headers, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emitted %d frames, dropped %d by policing, global max delay %.2f us\n",
+		res.FramesEmitted, res.FramesDropped, res.MaxDelayUs())
+
+	if *histogram != "" {
+		var vl string
+		idx := 0
+		if i := strings.LastIndex(*histogram, "/"); i > 0 {
+			vl = (*histogram)[:i]
+			fmt.Sscanf((*histogram)[i+1:], "%d", &idx)
+		} else {
+			vl = *histogram
+		}
+		delays := res.FrameDelays[afdx.PathID{VL: vl, PathIdx: idx}]
+		if len(delays) == 0 {
+			log.Fatalf("no frames observed on path %s/%d", vl, idx)
+		}
+		fmt.Printf("\ndelay distribution of %s/%d (%s):\n", vl, idx, stats.Summarize(delays))
+		fmt.Print(stats.RenderHistogram(stats.Histogram(delays, 12), 40))
+	}
+}

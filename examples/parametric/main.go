@@ -1,0 +1,68 @@
+// Parametric: regenerate the paper's Figure 7 and Figure 8 sweeps as
+// CSV series ready for plotting — how the two methods' bounds for VL v1
+// evolve when its frame size or its BAG varies on the Figure 2 sample
+// configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"afdx"
+)
+
+// boundsFor computes both bounds for v1 with an overridden contract.
+func boundsFor(smaxBytes int, bagMs float64) (nc, tr float64, err error) {
+	net := afdx.Figure2Config()
+	net.VLs[0].SMaxBytes = smaxBytes
+	net.VLs[0].SMinBytes = smaxBytes
+	net.VLs[0].BAGMs = bagMs
+	pg, err := afdx.BuildPortGraph(net, afdx.Relaxed)
+	if err != nil {
+		return 0, 0, err
+	}
+	ncRes, err := afdx.AnalyzeNC(pg, afdx.DefaultNCOptions())
+	if err != nil {
+		return 0, 0, err
+	}
+	trRes, err := afdx.AnalyzeTrajectory(pg, afdx.DefaultTrajectoryOptions())
+	if err != nil {
+		return 0, 0, err
+	}
+	pid := afdx.PathID{VL: "v1", PathIdx: 0}
+	return ncRes.PathDelays[pid], trRes.PathDelays[pid], nil
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// Figure 7: s_max(v1) from 100 B to 1500 B, BAG fixed at 4 ms.
+	fmt.Println("# figure 7: bounds for v1 vs s_max(v1); others at 500B/4ms")
+	fmt.Println("smax_bytes,trajectory_us,wcnc_us")
+	crossover := 0
+	for s := 100; s <= 1500; s += 100 {
+		nc, tr, err := boundsFor(s, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nc < tr {
+			crossover = s
+		}
+		fmt.Printf("%d,%.2f,%.2f\n", s, tr, nc)
+	}
+	fmt.Fprintf(os.Stderr, "figure 7: WCNC tighter up to s_max = %d B (paper: ~500 B)\n", crossover)
+
+	// Figure 8: BAG(v1) over the harmonic values, s_max fixed at 500 B.
+	fmt.Println()
+	fmt.Println("# figure 8: bounds for v1 vs BAG(v1); others at 500B/4ms")
+	fmt.Println("bag_ms,trajectory_us,wcnc_us")
+	for bag := 1.0; bag <= 128; bag *= 2 {
+		nc, tr, err := boundsFor(500, bag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%g,%.2f,%.2f\n", bag, tr, nc)
+	}
+	fmt.Fprintln(os.Stderr, "figure 8: the trajectory series is constant; WCNC grows as the BAG shrinks")
+}

@@ -1,0 +1,81 @@
+// Simcheck: sandwich the analytic bounds between achievable delays. The
+// discrete-event simulator replays the Figure 2 sample configuration
+// under many randomized offset assignments and under the adversarial
+// synchronized burst; no observed delay may exceed the sound analyses
+// (Network Calculus, ungrouped Trajectory). The example also
+// demonstrates the staggered-arrival scenario in which the grouped
+// trajectory bound of the 2010 paper is exceeded — the optimism only
+// discovered years later (see DESIGN.md).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"afdx"
+)
+
+func main() {
+	log.SetFlags(0)
+	pg, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nc, err := afdx.AnalyzeNC(pg, afdx.DefaultNCOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trGrouped, err := afdx.AnalyzeTrajectory(pg, afdx.DefaultTrajectoryOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trUngrouped, err := afdx.AnalyzeTrajectory(pg, afdx.TrajectoryOptions{Grouping: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Randomized offsets: record the worst observation per path.
+	worst := map[afdx.PathID]float64{}
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := afdx.DefaultSimConfig(seed)
+		cfg.DurationUs = 64_000
+		res, err := afdx.Simulate(pg, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for pid, st := range res.Paths {
+			if st.MaxDelayUs > worst[pid] {
+				worst[pid] = st.MaxDelayUs
+			}
+		}
+	}
+	fmt.Println("worst simulated delay vs analytic bounds (100 random seeds):")
+	fmt.Printf("%-8s %10s %10s %12s %14s\n", "path", "sim max", "WCNC", "Traj (grp)", "Traj (ungrp)")
+	for _, pid := range pg.Net.AllPaths() {
+		fmt.Printf("%-8s %10.2f %10.2f %12.2f %14.2f\n",
+			pid, worst[pid], nc.PathDelays[pid],
+			trGrouped.PathDelays[pid], trUngrouped.PathDelays[pid])
+		if worst[pid] > nc.PathDelays[pid] || worst[pid] > trUngrouped.PathDelays[pid] {
+			log.Fatalf("UNSOUND: simulated %v exceeded a sound bound", pid)
+		}
+	}
+
+	// The documented corner case: staggered arrivals drive v1 to ~288 us,
+	// above the grouped trajectory bound (248 us) but below the
+	// ungrouped one (288 us).
+	cfg := afdx.SimConfig{
+		DurationUs: 4000,
+		OffsetsUs:  map[string]float64{"v1": 0.002, "v2": 0.001, "v3": 0, "v4": 0, "v5": 2000},
+	}
+	res, err := afdx.Simulate(pg, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pid := afdx.PathID{VL: "v1", PathIdx: 0}
+	d := res.Paths[pid].MaxDelayUs
+	fmt.Printf("\nstaggered scenario: v1 observed at %.2f us — grouped trajectory bound %.2f us\n",
+		d, trGrouped.PathDelays[pid])
+	if d > trGrouped.PathDelays[pid] {
+		fmt.Println("=> reproduces the known optimism of the published grouped trajectory method")
+	}
+}

@@ -1,0 +1,3 @@
+module afdx
+
+go 1.22

@@ -1,0 +1,303 @@
+package afdx_test
+
+// Cross-package property tests: invariants that must hold on arbitrary
+// (generated) configurations, not just the hand-built ones. Each test
+// sweeps a family of random small networks produced by the public
+// generator and checks an ordering or soundness property across the
+// engines.
+
+import (
+	"testing"
+
+	"afdx"
+)
+
+// smallNetworks yields a family of random small configurations that are
+// cheap enough to analyse and simulate exhaustively in tests.
+func smallNetworks(t *testing.T, n int) []*afdx.Network {
+	t.Helper()
+	var nets []*afdx.Network
+	for seed := int64(1); len(nets) < n; seed++ {
+		spec := afdx.DefaultGeneratorSpec(seed)
+		spec.NumSwitches = 2 + int(seed%3)
+		spec.ESPerSwitch = 2 + int(seed%2)
+		spec.NumVLs = 8 + int(seed%7)
+		net, err := afdx.Generate(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		nets = append(nets, net)
+	}
+	return nets
+}
+
+func TestPropertyCombinedNeverWorseThanEither(t *testing.T) {
+	for i, net := range smallNetworks(t, 12) {
+		pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := afdx.Compare(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid, pc := range cmp.PerPath {
+			if pc.BestUs > pc.NCUs+1e-9 || pc.BestUs > pc.TrajectoryUs+1e-9 {
+				t.Errorf("net %d path %v: best %g above a component (%g, %g)",
+					i, pid, pc.BestUs, pc.NCUs, pc.TrajectoryUs)
+			}
+			if pc.BestUs < pc.MinUs-1e-9 {
+				t.Errorf("net %d path %v: bound %g below the physical floor %g",
+					i, pid, pc.BestUs, pc.MinUs)
+			}
+		}
+	}
+}
+
+func TestPropertyGroupingTightensBothEngines(t *testing.T) {
+	for i, net := range smallNetworks(t, 12) {
+		pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncG, err := afdx.AnalyzeNC(pg, afdx.NCOptions{Grouping: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncU, err := afdx.AnalyzeNC(pg, afdx.NCOptions{Grouping: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trG, err := afdx.AnalyzeTrajectory(pg, afdx.TrajectoryOptions{Grouping: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trU, err := afdx.AnalyzeTrajectory(pg, afdx.TrajectoryOptions{Grouping: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid := range ncG.PathDelays {
+			if ncG.PathDelays[pid] > ncU.PathDelays[pid]+1e-9 {
+				t.Errorf("net %d path %v: grouped NC %g above ungrouped %g",
+					i, pid, ncG.PathDelays[pid], ncU.PathDelays[pid])
+			}
+			if trG.PathDelays[pid] > trU.PathDelays[pid]+1e-9 {
+				t.Errorf("net %d path %v: grouped trajectory %g above ungrouped %g",
+					i, pid, trG.PathDelays[pid], trU.PathDelays[pid])
+			}
+		}
+	}
+}
+
+func TestPropertyRefinementsTighten(t *testing.T) {
+	for i, net := range smallNetworks(t, 8) {
+		pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := afdx.AnalyzeTrajectory(pg, afdx.DefaultTrajectoryOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := afdx.AnalyzeTrajectory(pg, afdx.TrajectoryOptions{Grouping: true, SharedTransition: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncBase, err := afdx.AnalyzeNC(pg, afdx.DefaultNCOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncStair, err := afdx.AnalyzeNC(pg, afdx.NCOptions{Grouping: true, StairSteps: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid := range base.PathDelays {
+			if shared.PathDelays[pid] > base.PathDelays[pid]+1e-9 {
+				t.Errorf("net %d path %v: shared-transition worsened %g -> %g",
+					i, pid, base.PathDelays[pid], shared.PathDelays[pid])
+			}
+			if ncStair.PathDelays[pid] > ncBase.PathDelays[pid]+1e-9 {
+				t.Errorf("net %d path %v: staircase envelopes worsened %g -> %g",
+					i, pid, ncBase.PathDelays[pid], ncStair.PathDelays[pid])
+			}
+		}
+	}
+}
+
+func TestPropertySimulationWithinSoundBounds(t *testing.T) {
+	for i, net := range smallNetworks(t, 8) {
+		pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := afdx.AnalyzeNC(pg, afdx.DefaultNCOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trU, err := afdx.AnalyzeTrajectory(pg, afdx.TrajectoryOptions{Grouping: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			cfg := afdx.DefaultSimConfig(seed)
+			cfg.DurationUs = 256_000
+			res, err := afdx.Simulate(pg, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pid, st := range res.Paths {
+				if st.MaxDelayUs > nc.PathDelays[pid]+1e-6 {
+					t.Errorf("net %d seed %d path %v: simulated %g above NC bound %g",
+						i, seed, pid, st.MaxDelayUs, nc.PathDelays[pid])
+				}
+				if st.MaxDelayUs > trU.PathDelays[pid]+1e-6 {
+					t.Errorf("net %d seed %d path %v: simulated %g above ungrouped trajectory %g",
+						i, seed, pid, st.MaxDelayUs, trU.PathDelays[pid])
+				}
+				if st.MinDelayUs > 0 {
+					floor, err := pg.MinPathDelayUs(pid)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.MinDelayUs < floor-1e-6 {
+						t.Errorf("net %d path %v: simulated min %g below physical floor %g",
+							i, pid, st.MinDelayUs, floor)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyAddingFlowNeverHelpsOthers(t *testing.T) {
+	// Monotonicity under load: adding one more VL must not decrease any
+	// existing path's bound, for either engine.
+	for i, net := range smallNetworks(t, 6) {
+		pgBase, err := afdx.BuildPortGraph(net, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmpBase, err := afdx.Compare(pgBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Add a heavy VL between the first two end systems.
+		grown := *net
+		grown.VLs = append(append([]*afdx.VirtualLink{}, net.VLs...), &afdx.VirtualLink{
+			ID: "extra", Source: net.VLs[0].Source, BAGMs: 2,
+			SMaxBytes: 1518, SMinBytes: 64,
+			Paths: [][]string{append([]string{}, net.VLs[0].Paths[0]...)},
+		})
+		pgGrown, err := afdx.BuildPortGraph(&grown, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmpGrown, err := afdx.Compare(pgGrown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid, pc := range cmpBase.PerPath {
+			g := cmpGrown.PerPath[pid]
+			if g.NCUs < pc.NCUs-1e-9 {
+				t.Errorf("net %d path %v: NC bound decreased %g -> %g after adding load",
+					i, pid, pc.NCUs, g.NCUs)
+			}
+			if g.TrajectoryUs < pc.TrajectoryUs-1e-9 {
+				t.Errorf("net %d path %v: trajectory bound decreased %g -> %g after adding load",
+					i, pid, pc.TrajectoryUs, g.TrajectoryUs)
+			}
+		}
+	}
+}
+
+func TestPropertyMirrorPreservesBounds(t *testing.T) {
+	for i, net := range smallNetworks(t, 6) {
+		pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := afdx.Compare(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := afdx.Mirror(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pgRed, err := afdx.BuildPortGraph(red, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmpRed, err := afdx.Compare(pgRed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cmpRed.PerPath) != 2*len(cmp.PerPath) {
+			t.Errorf("net %d: mirrored comparison has %d paths, want %d",
+				i, len(cmpRed.PerPath), 2*len(cmp.PerPath))
+		}
+		for pid, pc := range cmp.PerPath {
+			a := afdx.PathID{VL: pid.VL + "A", PathIdx: pid.PathIdx}
+			got := cmpRed.PerPath[a].BestUs
+			// Accumulation order differs between the runs; allow ulps.
+			if diff := got - pc.BestUs; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("net %d path %v: mirrored bound %g differs from base %g",
+					i, pid, got, pc.BestUs)
+			}
+		}
+	}
+}
+
+func TestPropertySoundBoundsDominateExactSearch(t *testing.T) {
+	// The strongest correctness check: on random tiny configurations,
+	// the worst delay the offset search can realize must stay below the
+	// sound analytic bounds (NC and ungrouped trajectory) on every path.
+	for seed := int64(10); seed < 16; seed++ {
+		spec := afdx.DefaultGeneratorSpec(seed)
+		spec.NumSwitches = 2
+		spec.ESPerSwitch = 2
+		spec.NumVLs = 4
+		net, err := afdx.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := afdx.AnalyzeNC(pg, afdx.DefaultNCOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trU, err := afdx.AnalyzeTrajectory(pg, afdx.TrajectoryOptions{Grouping: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := afdx.DefaultExactOptions()
+		opts.GridUs = 0 // BAG/8 per VL
+		opts.Refine = 8
+		opts.MaxCombos = 200_000
+		found, err := afdx.SearchWorstCase(pg, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for pid, d := range found.Delays {
+			if d > nc.PathDelays[pid]+1e-6 {
+				t.Errorf("seed %d path %v: search reached %g above the NC bound %g",
+					seed, pid, d, nc.PathDelays[pid])
+			}
+			if d > trU.PathDelays[pid]+1e-6 {
+				t.Errorf("seed %d path %v: search reached %g above the ungrouped trajectory bound %g",
+					seed, pid, d, trU.PathDelays[pid])
+			}
+			floor, err := pg.MinPathDelayUs(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > 0 && d < floor-1e-6 {
+				t.Errorf("seed %d path %v: search result %g below the physical floor %g",
+					seed, pid, d, floor)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package afdx
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serialises the network configuration as indented JSON.
+func (n *Network) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(n); err != nil {
+		return fmt.Errorf("afdx: encoding network %q: %w", n.Name, err)
+	}
+	return nil
+}
+
+// SaveJSON writes the configuration to a file.
+func (n *Network) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("afdx: %w", err)
+	}
+	defer f.Close()
+	if err := n.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSON parses a network configuration and validates it with the
+// given mode.
+func ReadJSON(r io.Reader, mode ValidationMode) (*Network, error) {
+	var n Network
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&n); err != nil {
+		return nil, fmt.Errorf("afdx: decoding network: %w", err)
+	}
+	if err := n.Validate(mode); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// LoadJSON reads a configuration from a file.
+func LoadJSON(path string, mode ValidationMode) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("afdx: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f, mode)
+}

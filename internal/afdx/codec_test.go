@@ -1,0 +1,60 @@
+package afdx
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := Figure2Config()
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n, got) {
+		t.Errorf("round trip mismatch:\n%+v\nvs\n%+v", n, got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	n := Figure1Config()
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := n.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n, got) {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestReadJSONRejectsUnknownFields(t *testing.T) {
+	_, err := ReadJSON(strings.NewReader(`{"name":"x","bogus":1}`), Relaxed)
+	if err == nil {
+		t.Fatal("expected unknown-field error")
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	// Structurally valid JSON but semantically invalid network.
+	_, err := ReadJSON(strings.NewReader(`{"name":"x","params":{"linkRateMbps":100,"switchLatencyUs":16,"sourceLatencyUs":16},"endSystems":[],"switches":[],"vls":[]}`), Relaxed)
+	if err == nil {
+		t.Fatal("expected validation error for empty end system list")
+	}
+}
+
+func TestLoadJSONMissingFile(t *testing.T) {
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "nope.json"), Strict); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

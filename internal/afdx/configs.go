@@ -1,0 +1,85 @@
+package afdx
+
+// Canonical configurations from the paper. Figure2Config is the exact
+// sample configuration of the paper's Figure 2 (used by Figures 3, 4, 7,
+// 8, 9); Figure1Config is a reconstruction of the illustrative Figure 1
+// topology (the published scan is partially illegible, so the VL routing
+// below is a faithful-in-spirit reconstruction documented in DESIGN.md;
+// it is used for model tests and examples, not for any paper experiment).
+
+// Figure2Config builds the sample configuration of the paper's Figure 2:
+// five emitting end systems e1..e5 (one VL each), two receiving end
+// systems e6 and e7, and three switches S1..S3. VLs v1..v4 end at e6,
+// v5 ends at e7. All VLs have BAG = 4 ms and s_max = 500 B (= 4000 bits);
+// links run at 100 Mb/s and ports have a 16 us technological latency.
+func Figure2Config() *Network {
+	vl := func(id, src string, path ...string) *VirtualLink {
+		return &VirtualLink{
+			ID:        id,
+			Source:    src,
+			BAGMs:     4,
+			SMaxBytes: 500,
+			SMinBytes: 500,
+			Paths:     [][]string{path},
+		}
+	}
+	return &Network{
+		Name:       "figure2",
+		Params:     DefaultParams(),
+		EndSystems: []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"},
+		Switches:   []string{"S1", "S2", "S3"},
+		VLs: []*VirtualLink{
+			vl("v1", "e1", "e1", "S1", "S3", "e6"),
+			vl("v2", "e2", "e2", "S1", "S3", "e6"),
+			vl("v3", "e3", "e3", "S2", "S3", "e6"),
+			vl("v4", "e4", "e4", "S2", "S3", "e6"),
+			vl("v5", "e5", "e5", "S3", "e7"),
+		},
+	}
+}
+
+// Figure1Config builds a five-switch, ten-end-system configuration in the
+// spirit of the paper's Figure 1, including the unicast VL vx
+// {e5 -> S4 -> e8} and the multicast VL v6 with paths through S1 to e7
+// (via S3) and e8 (via S4) quoted in the text.
+func Figure1Config() *Network {
+	uni := func(id, src string, path ...string) *VirtualLink {
+		return &VirtualLink{
+			ID: id, Source: src, BAGMs: 8, SMaxBytes: 1000, SMinBytes: 200,
+			Paths: [][]string{path},
+		}
+	}
+	return &Network{
+		Name:       "figure1",
+		Params:     DefaultParams(),
+		EndSystems: []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"},
+		Switches:   []string{"S1", "S2", "S3", "S4", "S5"},
+		VLs: []*VirtualLink{
+			{
+				ID: "v6", Source: "e1", BAGMs: 4, SMaxBytes: 500, SMinBytes: 100,
+				Paths: [][]string{
+					{"e1", "S1", "S3", "e7"},
+					{"e1", "S1", "S4", "e8"},
+				},
+			},
+			{
+				ID: "v7", Source: "e2", BAGMs: 8, SMaxBytes: 800, SMinBytes: 100,
+				Paths: [][]string{{"e2", "S1", "S3", "e7"}},
+			},
+			{
+				ID: "v8", Source: "e1", BAGMs: 16, SMaxBytes: 1200, SMinBytes: 200,
+				Paths: [][]string{{"e1", "S1", "S4", "e8"}},
+			},
+			{
+				ID: "v9", Source: "e2", BAGMs: 2, SMaxBytes: 300, SMinBytes: 100,
+				Paths: [][]string{{"e2", "S1", "S4", "e8"}},
+			},
+			uni("vx", "e5", "e5", "S4", "e8"),
+			uni("v1", "e3", "e3", "S2", "S5", "e9"),
+			uni("v2", "e4", "e4", "S2", "S5", "e9"),
+			uni("v3", "e6", "e6", "S2", "S5", "e10"),
+			uni("v4", "e6", "e6", "S2", "S5", "e10"),
+			uni("v5", "e3", "e3", "S2", "S5", "e10"),
+		},
+	}
+}

@@ -1,0 +1,45 @@
+package afdx
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the network topology in Graphviz DOT format: switches
+// as boxes, end systems as ellipses, one edge per used directed link
+// labelled with the number of VLs multiplexed on it. Intended for
+// documentation and configuration reviews (`dot -Tsvg`).
+func (n *Network) WriteDOT(w io.Writer) error {
+	pg, err := BuildPortGraph(n, Relaxed)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", n.Name); err != nil {
+		return err
+	}
+	for _, s := range n.Switches {
+		if _, err := fmt.Fprintf(w, "  %q [shape=box,style=filled,fillcolor=lightgrey];\n", s); err != nil {
+			return err
+		}
+	}
+	for _, e := range n.EndSystems {
+		if _, err := fmt.Fprintf(w, "  %q [shape=ellipse];\n", e); err != nil {
+			return err
+		}
+	}
+	ids := make([]PortID, 0, len(pg.Ports))
+	for id := range pg.Ports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	for _, id := range ids {
+		port := pg.Ports[id]
+		if _, err := fmt.Fprintf(w, "  %q -> %q [label=\"%d VL\"];\n",
+			id.From, id.To, len(port.Flows)); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintln(w, "}")
+	return err
+}

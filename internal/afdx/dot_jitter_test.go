@@ -1,0 +1,75 @@
+package afdx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure2Config().WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"digraph", `"S1" [shape=box`, `"e1" [shape=ellipse]`,
+		`"S3" -> "e6" [label="4 VL"]`, `"e1" -> "S1" [label="1 VL"]`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteDOTInvalidNetwork(t *testing.T) {
+	n := Figure2Config()
+	n.VLs[0].BAGMs = -1
+	if err := n.WriteDOT(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for invalid network")
+	}
+}
+
+func TestESJitterReport(t *testing.T) {
+	n := Figure2Config()
+	rep := n.ESJitterReport()
+	if len(rep) != 5 { // five transmitting end systems
+		t.Fatalf("got %d report rows, want 5", len(rep))
+	}
+	// Every ES hosts one 500B VL: jitter = 40 + (67+500)*8/100 = 85.36 us.
+	for _, r := range rep {
+		if r.NumVLs != 1 {
+			t.Errorf("%s hosts %d VLs, want 1", r.EndSystem, r.NumVLs)
+		}
+		want := 40 + float64(67+500)*8/100
+		if r.JitterUs != want {
+			t.Errorf("%s jitter = %g, want %g", r.EndSystem, r.JitterUs, want)
+		}
+		if !r.Compliant {
+			t.Errorf("%s should be compliant", r.EndSystem)
+		}
+	}
+	if err := n.ValidateESJitter(); err != nil {
+		t.Errorf("figure 2 should pass the jitter check: %v", err)
+	}
+}
+
+func TestESJitterViolation(t *testing.T) {
+	// Pile 40 maximum-size VLs on one end system: jitter = 40 +
+	// 40*(67+1518)*8/100 = 40 + 5072 us >> 500 us.
+	n := Figure2Config()
+	for i := 0; i < 40; i++ {
+		n.VLs = append(n.VLs, &VirtualLink{
+			ID: "x" + string(rune('A'+i)), Source: "e1", BAGMs: 128,
+			SMaxBytes: 1518, SMinBytes: 64,
+			Paths: [][]string{{"e1", "S1", "S3", "e6"}},
+		})
+	}
+	if err := n.ValidateESJitter(); err == nil {
+		t.Fatal("expected jitter cap violation")
+	}
+	rep := n.ESJitterReport()
+	if rep[0].EndSystem != "e1" || rep[0].Compliant {
+		t.Errorf("e1 should top the report as non-compliant: %+v", rep[0])
+	}
+}

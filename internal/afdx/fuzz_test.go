@@ -1,0 +1,34 @@
+package afdx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks that arbitrary input never panics the
+// configuration loader, and that anything it accepts round-trips.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Figure2Config().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{}`)
+	f.Add(`{"name":"x"}`)
+	f.Add(`not json at all`)
+	f.Add(`{"name":"x","endSystems":["a"],"switches":[],"vls":[{"id":"v","source":"a","bagMs":1e308,"sMaxBytes":1,"sMinBytes":1,"paths":[["a","a","a"]]}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		n, err := ReadJSON(strings.NewReader(data), Relaxed)
+		if err != nil {
+			return // rejected: fine
+		}
+		var buf bytes.Buffer
+		if err := n.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted network failed to re-encode: %v", err)
+		}
+		if _, err := ReadJSON(&buf, Relaxed); err != nil {
+			t.Fatalf("round trip of accepted network failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package afdx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ARINC 664 part 7 bounds the jitter a transmitting end system may
+// introduce at its output port: the standard's formula charges, on top
+// of a fixed technological allowance, the serialization of one maximum
+// frame of every other VL hosted by the end system, and caps the total.
+const (
+	// ESJitterFixedUs is the standard's fixed jitter allowance.
+	ESJitterFixedUs = 40
+	// ESJitterMaxUs is the standard's cap on end-system output jitter.
+	ESJitterMaxUs = 500
+	// ESJitterOverheadBytes is the per-frame overhead (preamble, SFD,
+	// IFG, protocol margin) the standard's formula adds to s_max.
+	ESJitterOverheadBytes = 67
+)
+
+// ESJitter is the ARINC 664 output-jitter figure of one end system.
+type ESJitter struct {
+	EndSystem string
+	NumVLs    int
+	// JitterUs = ESJitterFixedUs + sum over the ES's VLs of
+	// (ESJitterOverheadBytes + s_max)*8 / rate.
+	JitterUs float64
+	// Compliant is JitterUs <= ESJitterMaxUs.
+	Compliant bool
+}
+
+// ESJitterReport evaluates the ARINC 664 end-system output jitter
+// formula for every transmitting end system, sorted by decreasing
+// jitter. Non-compliant entries indicate an end system hosting more
+// traffic than the standard allows to multiplex on one port.
+func (n *Network) ESJitterReport() []ESJitter {
+	rate := n.Params.RateBitsPerUs()
+	byES := map[string][]*VirtualLink{}
+	for _, vl := range n.VLs {
+		byES[vl.Source] = append(byES[vl.Source], vl)
+	}
+	var out []ESJitter
+	for es, vls := range byES {
+		sum := 0.0
+		for _, vl := range vls {
+			sum += float64(ESJitterOverheadBytes+vl.SMaxBytes) * 8 / rate
+		}
+		j := ESJitterFixedUs + sum
+		out = append(out, ESJitter{
+			EndSystem: es,
+			NumVLs:    len(vls),
+			JitterUs:  j,
+			Compliant: j <= ESJitterMaxUs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].JitterUs != out[j].JitterUs {
+			return out[i].JitterUs > out[j].JitterUs
+		}
+		return out[i].EndSystem < out[j].EndSystem
+	})
+	return out
+}
+
+// ValidateESJitter returns an error naming the first end system whose
+// ARINC 664 output jitter exceeds the standard's cap.
+func (n *Network) ValidateESJitter() error {
+	for _, r := range n.ESJitterReport() {
+		if !r.Compliant {
+			return fmt.Errorf("afdx: end system %q output jitter %.1f us exceeds the ARINC 664 cap of %d us (%d VLs hosted)",
+				r.EndSystem, r.JitterUs, ESJitterMaxUs, r.NumVLs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package afdx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PortID identifies an output port by the directed link it transmits on:
+// the port of node From that feeds node To.
+type PortID struct {
+	From string
+	To   string
+}
+
+func (p PortID) String() string { return p.From + "->" + p.To }
+
+// PortFlow records one VL crossing a port, together with the node the VL
+// arrives from ("" when the port belongs to the VL's source end system).
+// A multicast VL crosses a shared port once even if several of its paths
+// use it (frames are replicated at branch points, downstream).
+type PortFlow struct {
+	VL   *VirtualLink
+	Prev string
+}
+
+// Port is one FIFO output port with the flows that compete on it.
+type Port struct {
+	ID PortID
+	// RateBitsPerUs is the transmission rate of the outgoing link.
+	RateBitsPerUs float64
+	// LatencyUs is the technological latency of the port.
+	LatencyUs float64
+	// Flows lists the VLs multiplexed on the port, sorted by VL ID.
+	Flows []PortFlow
+}
+
+// IsSourcePort reports whether the port belongs to an end system.
+func (p *Port) IsSourcePort() bool { return p.Flows[0].Prev == "" }
+
+// FlowByVL returns the PortFlow for the given VL ID, or nil.
+func (p *Port) FlowByVL(id string) *PortFlow {
+	for i := range p.Flows {
+		if p.Flows[i].VL.ID == id {
+			return &p.Flows[i]
+		}
+	}
+	return nil
+}
+
+// InputGroups partitions the port's flows by the input link they arrive
+// from (the paper's grouping/serialization technique). Flows emitted by
+// the local node (source end-system ports) each form their own group key
+// "" and are returned together under that key: at a source port every VL
+// is shaped independently by the end system, so serialization between
+// them is not exploitable and callers treat the "" group as ungrouped.
+func (p *Port) InputGroups() map[string][]PortFlow {
+	g := map[string][]PortFlow{}
+	for _, f := range p.Flows {
+		g[f.Prev] = append(g[f.Prev], f)
+	}
+	return g
+}
+
+// PortGraph is the derived analysable view of a Network: its output
+// ports, the path of each (VL, destination) pair expressed as a port
+// sequence, and a feed-forward (topological) order on ports.
+type PortGraph struct {
+	Net   *Network
+	Ports map[PortID]*Port
+	// Order is a topological order of the ports: if any VL crosses port
+	// q immediately before port p, then q precedes p in Order.
+	Order []PortID
+	paths map[PathID][]PortID
+}
+
+// BuildPortGraph derives the port-level view of the network. It returns
+// an error when the configuration is invalid or when the port dependency
+// graph is cyclic (holistic analyses require feed-forward networks, as do
+// the configurations studied in the paper).
+func BuildPortGraph(n *Network, mode ValidationMode) (*PortGraph, error) {
+	if err := n.Validate(mode); err != nil {
+		return nil, err
+	}
+	pg := &PortGraph{
+		Net:   n,
+		Ports: map[PortID]*Port{},
+		paths: map[PathID][]PortID{},
+	}
+	type memberKey struct {
+		port PortID
+		vl   string
+	}
+	members := map[memberKey]string{} // -> prev node
+	for _, v := range n.VLs {
+		for pi, path := range v.Paths {
+			var seq []PortID
+			for k := 0; k+1 < len(path); k++ {
+				id := PortID{From: path[k], To: path[k+1]}
+				seq = append(seq, id)
+				prev := ""
+				if k > 0 {
+					prev = path[k-1]
+				}
+				mk := memberKey{port: id, vl: v.ID}
+				if old, ok := members[mk]; ok {
+					if old != prev {
+						return nil, fmt.Errorf("afdx: VL %s enters port %s from both %q and %q",
+							v.ID, id, old, prev)
+					}
+				} else {
+					members[mk] = prev
+					port := pg.Ports[id]
+					if port == nil {
+						lat := n.Params.SwitchLatencyUs
+						if n.IsEndSystem(path[k]) {
+							lat = n.Params.SourceLatencyUs
+						}
+						port = &Port{
+							ID:            id,
+							RateBitsPerUs: n.LinkRateBitsPerUs(path[k], path[k+1]),
+							LatencyUs:     lat,
+						}
+						pg.Ports[id] = port
+					}
+					port.Flows = append(port.Flows, PortFlow{VL: v, Prev: prev})
+				}
+			}
+			pg.paths[PathID{VL: v.ID, PathIdx: pi}] = seq
+		}
+	}
+	for _, p := range pg.Ports {
+		sort.Slice(p.Flows, func(i, j int) bool { return p.Flows[i].VL.ID < p.Flows[j].VL.ID })
+	}
+	order, err := pg.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pg.Order = order
+	return pg, nil
+}
+
+// PathPorts returns the port sequence of one (VL, destination) path.
+func (pg *PortGraph) PathPorts(id PathID) []PortID { return pg.paths[id] }
+
+// topoOrder computes a deterministic topological order of the port
+// dependency graph (port q feeds port p when some VL crosses q then p).
+func (pg *PortGraph) topoOrder() ([]PortID, error) {
+	succ := map[PortID][]PortID{}
+	indeg := map[PortID]int{}
+	for id := range pg.Ports {
+		indeg[id] = 0
+	}
+	seen := map[[2]PortID]bool{}
+	for _, seq := range pg.paths {
+		for k := 0; k+1 < len(seq); k++ {
+			e := [2]PortID{seq[k], seq[k+1]}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			succ[seq[k]] = append(succ[seq[k]], seq[k+1])
+			indeg[seq[k+1]]++
+		}
+	}
+	// Kahn's algorithm with lexicographic tie-breaking for determinism.
+	var ready []PortID
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sortPortIDs(ready)
+	var order []PortID
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		next := succ[id]
+		sortPortIDs(next)
+		var newly []PortID
+		for _, s := range next {
+			indeg[s]--
+			if indeg[s] == 0 {
+				newly = append(newly, s)
+			}
+		}
+		if len(newly) > 0 {
+			ready = append(ready, newly...)
+			sortPortIDs(ready)
+		}
+	}
+	if len(order) != len(pg.Ports) {
+		return nil, fmt.Errorf("afdx: cyclic port dependencies (%d of %d ports ordered); the holistic analyses require a feed-forward configuration",
+			len(order), len(pg.Ports))
+	}
+	return order, nil
+}
+
+func sortPortIDs(ids []PortID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].From != ids[j].From {
+			return ids[i].From < ids[j].From
+		}
+		return ids[i].To < ids[j].To
+	})
+}
+
+// FlowsSharingPath returns the set of VLs whose routing shares at least
+// one output port with the given path (including the path's own VL), with
+// for each such VL the first shared port along the given path. This is
+// the interference set of the Trajectory approach.
+func (pg *PortGraph) FlowsSharingPath(id PathID) map[string]PortID {
+	shared := map[string]PortID{}
+	for _, pid := range pg.paths[id] {
+		for _, f := range pg.Ports[pid].Flows {
+			if _, ok := shared[f.VL.ID]; !ok {
+				shared[f.VL.ID] = pid
+			}
+		}
+	}
+	return shared
+}
+
+// MinPathDelayUs returns the physical floor of a path's end-to-end
+// delay: the sum, over its output ports, of the technological latency
+// plus the transmission time of a minimum-size frame — the delay of a
+// frame crossing an entirely idle network. Worst-case bounds minus this
+// floor give the certification jitter figure.
+func (pg *PortGraph) MinPathDelayUs(id PathID) (float64, error) {
+	seq, ok := pg.paths[id]
+	if !ok {
+		return 0, fmt.Errorf("afdx: unknown path %v", id)
+	}
+	vl := pg.Net.VL(id.VL)
+	total := 0.0
+	for _, pid := range seq {
+		p := pg.Ports[pid]
+		total += p.LatencyUs + vl.CMinUs(p.RateBitsPerUs)
+	}
+	return total, nil
+}
+
+// UtilizationReport lists, for every port, the aggregate long-term rate
+// of its flows relative to the link rate. Ports above 1.0 are unstable
+// and make every worst-case analysis diverge.
+func (pg *PortGraph) UtilizationReport() map[PortID]float64 {
+	u := map[PortID]float64{}
+	for id, p := range pg.Ports {
+		sum := 0.0
+		for _, f := range p.Flows {
+			sum += f.VL.RhoBitsPerUs()
+		}
+		u[id] = sum / p.RateBitsPerUs
+	}
+	return u
+}

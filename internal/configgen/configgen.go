@@ -1,0 +1,366 @@
+// Package configgen generates synthetic AFDX configurations with the
+// global statistics of the industrial (Airbus) configuration studied in
+// the paper: on the order of a thousand multicast Virtual Links over
+// more than a hundred end systems and eight switches, harmonic BAGs
+// between 1 and 128 ms, Ethernet frame sizes between 64 and 1518 bytes,
+// and VL paths crossing one to four switches.
+//
+// The real configuration is proprietary; the paper only reports its
+// aggregate statistics, which the generator reproduces (see DESIGN.md,
+// substitution table). Generation is fully deterministic for a given
+// Spec (including the seed).
+//
+// The eight switches form the paper's two-core topology: two core
+// switches S1-S2 and six edge switches attached three per core. Routing
+// follows the unique tree path, which is feed-forward at output-port
+// level (up-links strictly precede down-links along any path), so every
+// generated configuration is analysable by the holistic methods.
+//
+// Dual-network redundancy (the A/B sub-networks of ARINC 664) is not
+// materialised: both sub-networks carry the same VLs over isomorphic
+// topologies, so the per-path analysis of one sub-network covers both.
+package configgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"afdx/internal/afdx"
+)
+
+// Spec parameterises the generator. The zero value is not useful; start
+// from DefaultSpec.
+type Spec struct {
+	// Seed drives all random choices; same spec, same network.
+	Seed int64
+	// Name of the generated network.
+	Name string
+	// NumSwitches must be >= 2 (two cores; extras become edge switches).
+	NumSwitches int
+	// ESPerSwitch is the number of end systems attached to each switch.
+	ESPerSwitch int
+	// NumVLs is the number of Virtual Links to admit.
+	NumVLs int
+	// MaxUtilization is the admission-control ceiling on every output
+	// port's long-term utilization (the generator retries or degrades a
+	// VL's contract until it fits).
+	MaxUtilization float64
+	// LocalityBias is the probability that a destination is attached to
+	// the same switch as the source (short paths dominate avionics
+	// configurations).
+	LocalityBias float64
+	// BAGWeights, SMaxWeights and FanoutWeights are sampling histograms
+	// (value -> relative weight).
+	BAGWeights    map[float64]int
+	SMaxWeights   map[int]int
+	FanoutWeights map[int]int
+	// Params are the physical parameters of the network.
+	Params afdx.Params
+}
+
+// DefaultSpec reproduces the published statistics of the industrial
+// configuration: ~1000 VLs, >6000 paths, 8 switches, ~104 end systems.
+func DefaultSpec(seed int64) Spec {
+	return Spec{
+		Seed:           seed,
+		Name:           fmt.Sprintf("industrial-seed%d", seed),
+		NumSwitches:    8,
+		ESPerSwitch:    13,
+		NumVLs:         1000,
+		MaxUtilization: 0.40,
+		LocalityBias:   0.35,
+		BAGWeights: map[float64]int{
+			1: 1, 2: 2, 4: 4, 8: 8, 16: 15, 32: 25, 64: 25, 128: 20,
+		},
+		SMaxWeights: map[int]int{
+			64: 14, 100: 14, 150: 12, 200: 11, 300: 9, 400: 8, 500: 7,
+			600: 5, 700: 4, 800: 4, 900: 3, 1000: 3, 1200: 2, 1400: 2, 1518: 2,
+		},
+		FanoutWeights: map[int]int{
+			1: 10, 2: 12, 3: 10, 4: 10, 6: 10, 8: 11, 10: 11, 12: 10, 16: 9, 20: 7,
+		},
+		Params: afdx.DefaultParams(),
+	}
+}
+
+// Generate builds a network from the spec. The returned network always
+// validates in Strict mode and always builds a feed-forward port graph.
+func Generate(spec Spec) (*afdx.Network, error) {
+	if spec.NumSwitches < 2 {
+		return nil, fmt.Errorf("configgen: need at least 2 switches, got %d", spec.NumSwitches)
+	}
+	if spec.ESPerSwitch < 1 || spec.NumVLs < 1 {
+		return nil, fmt.Errorf("configgen: need at least one end system per switch and one VL")
+	}
+	if spec.MaxUtilization <= 0 || spec.MaxUtilization > 1 {
+		return nil, fmt.Errorf("configgen: MaxUtilization %g out of (0,1]", spec.MaxUtilization)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	t := newTopology(spec)
+	g := &generator{spec: spec, rng: rng, topo: t, portLoad: map[afdx.PortID]float64{}}
+	net := &afdx.Network{
+		Name:       spec.Name,
+		Params:     spec.Params,
+		EndSystems: t.endSystems,
+		Switches:   t.switches,
+	}
+	for i := 0; i < spec.NumVLs; i++ {
+		vl := g.admitVL(fmt.Sprintf("v%04d", i+1))
+		if vl != nil {
+			net.VLs = append(net.VLs, vl)
+		}
+	}
+	if err := net.Validate(afdx.Strict); err != nil {
+		return nil, fmt.Errorf("configgen: generated network invalid: %w", err)
+	}
+	return net, nil
+}
+
+// topology is the rooted switch tree plus end-system attachments.
+type topology struct {
+	switches   []string
+	endSystems []string
+	parent     map[string]string // switch -> parent switch ("" for root)
+	esSwitch   map[string]string // end system -> attached switch
+	esOf       map[string][]string
+	sameSide   map[string][]string // switch -> end systems in its core subtree
+}
+
+func newTopology(spec Spec) *topology {
+	t := &topology{
+		parent:   map[string]string{},
+		esSwitch: map[string]string{},
+		esOf:     map[string][]string{},
+	}
+	for i := 0; i < spec.NumSwitches; i++ {
+		t.switches = append(t.switches, fmt.Sprintf("S%d", i+1))
+	}
+	// S1 is the root core, S2 the second core, the rest alternate as
+	// edge switches under the two cores.
+	for i, s := range t.switches {
+		switch {
+		case i == 0:
+			t.parent[s] = ""
+		case i == 1:
+			t.parent[s] = t.switches[0]
+		case i%2 == 0:
+			t.parent[s] = t.switches[0]
+		default:
+			t.parent[s] = t.switches[1]
+		}
+	}
+	n := 0
+	for _, s := range t.switches {
+		for k := 0; k < spec.ESPerSwitch; k++ {
+			n++
+			es := fmt.Sprintf("e%03d", n)
+			t.endSystems = append(t.endSystems, es)
+			t.esSwitch[es] = s
+			t.esOf[s] = append(t.esOf[s], es)
+		}
+	}
+	// Core subtree membership: a switch belongs to the side of the core
+	// (S1 or S2) it hangs off; the two cores anchor their own side.
+	sideCore := func(s string) string {
+		if len(t.switches) < 2 {
+			return t.switches[0]
+		}
+		if s == t.switches[1] || t.parent[s] == t.switches[1] {
+			return t.switches[1]
+		}
+		return t.switches[0]
+	}
+	bySide := map[string][]string{}
+	for _, s := range t.switches {
+		bySide[sideCore(s)] = append(bySide[sideCore(s)], t.esOf[s]...)
+	}
+	t.sameSide = map[string][]string{}
+	for _, s := range t.switches {
+		t.sameSide[s] = bySide[sideCore(s)]
+	}
+	return t
+}
+
+// switchRoute returns the tree path between two switches (inclusive).
+func (t *topology) switchRoute(a, b string) []string {
+	anc := func(s string) []string {
+		var chain []string
+		for s != "" {
+			chain = append(chain, s)
+			s = t.parent[s]
+		}
+		return chain
+	}
+	ca, cb := anc(a), anc(b)
+	onB := map[string]int{}
+	for i, s := range cb {
+		onB[s] = i
+	}
+	for i, s := range ca {
+		if j, ok := onB[s]; ok {
+			route := append([]string{}, ca[:i+1]...)
+			for k := j - 1; k >= 0; k-- {
+				route = append(route, cb[k])
+			}
+			return route
+		}
+	}
+	return nil // unreachable in a tree
+}
+
+// esRoute returns the full node path from a source ES to a dest ES.
+func (t *topology) esRoute(src, dst string) []string {
+	route := t.switchRoute(t.esSwitch[src], t.esSwitch[dst])
+	path := append([]string{src}, route...)
+	return append(path, dst)
+}
+
+type generator struct {
+	spec     Spec
+	rng      *rand.Rand
+	topo     *topology
+	portLoad map[afdx.PortID]float64 // committed rate per port, bits/us
+}
+
+// admitVL draws a contract and a destination set, then admits the VL
+// under the utilization ceiling: the contract is degraded first (larger
+// BAG, then smaller frames), and only as a last resort destinations are
+// trimmed, preserving the drawn fan-out distribution as far as possible.
+// It returns nil when nothing fits (the VL is skipped).
+func (g *generator) admitVL(id string) *afdx.VirtualLink {
+	src := g.topo.endSystems[g.rng.Intn(len(g.topo.endSystems))]
+	bag := weightedFloat(g.rng, g.spec.BAGWeights)
+	smax := weightedInt(g.rng, g.spec.SMaxWeights)
+	smin := afdx.MinFrameBytes
+	if smax > afdx.MinFrameBytes && g.rng.Intn(2) == 0 {
+		smin += g.rng.Intn(smax - afdx.MinFrameBytes + 1)
+	}
+	paths := g.drawPaths(src)
+	vl := &afdx.VirtualLink{
+		ID: id, Source: src, BAGMs: bag, SMaxBytes: smax, SMinBytes: min(smin, smax),
+		Paths: paths,
+	}
+	for {
+		if g.fits(vl) {
+			g.commit(vl)
+			return vl
+		}
+		switch {
+		case vl.BAGMs < afdx.MaxBAGMs:
+			vl.BAGMs *= 2
+		case vl.SMaxBytes > afdx.MinFrameBytes:
+			vl.SMaxBytes = afdx.MinFrameBytes
+			vl.SMinBytes = afdx.MinFrameBytes
+		case len(vl.Paths) > 1:
+			vl.Paths = vl.Paths[:len(vl.Paths)-1]
+		default:
+			return nil
+		}
+	}
+}
+
+// drawPaths draws a destination fan-out and builds the multicast tree
+// paths (unique tree routing guarantees the tree property).
+func (g *generator) drawPaths(src string) [][]string {
+	fanout := weightedInt(g.rng, g.spec.FanoutWeights)
+	chosen := map[string]bool{src: true}
+	var paths [][]string
+	for len(paths) < fanout {
+		var dst string
+		switch r := g.rng.Float64(); {
+		case r < g.spec.LocalityBias:
+			// Same switch as the source.
+			local := g.topo.esOf[g.topo.esSwitch[src]]
+			dst = local[g.rng.Intn(len(local))]
+		case r < g.spec.LocalityBias+(1-g.spec.LocalityBias)/2:
+			// Same core subtree (avionics functions cluster per side).
+			side := g.topo.sameSide[g.topo.esSwitch[src]]
+			dst = side[g.rng.Intn(len(side))]
+		default:
+			dst = g.topo.endSystems[g.rng.Intn(len(g.topo.endSystems))]
+		}
+		if chosen[dst] {
+			// Avoid spinning when the switch has few local ESes left.
+			if len(chosen) >= len(g.topo.endSystems) {
+				break
+			}
+			continue
+		}
+		chosen[dst] = true
+		paths = append(paths, g.topo.esRoute(src, dst))
+	}
+	return paths
+}
+
+// vlPorts lists the distinct output ports a VL crosses.
+func vlPorts(vl *afdx.VirtualLink) []afdx.PortID {
+	seen := map[afdx.PortID]bool{}
+	var out []afdx.PortID
+	for _, path := range vl.Paths {
+		for k := 0; k+1 < len(path); k++ {
+			id := afdx.PortID{From: path[k], To: path[k+1]}
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+func (g *generator) fits(vl *afdx.VirtualLink) bool {
+	limit := g.spec.MaxUtilization * g.spec.Params.RateBitsPerUs()
+	rho := vl.RhoBitsPerUs()
+	for _, p := range vlPorts(vl) {
+		if g.portLoad[p]+rho > limit {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *generator) commit(vl *afdx.VirtualLink) {
+	rho := vl.RhoBitsPerUs()
+	for _, p := range vlPorts(vl) {
+		g.portLoad[p] += rho
+	}
+}
+
+// weightedInt draws a key of the histogram proportionally to its weight.
+func weightedInt(rng *rand.Rand, w map[int]int) int {
+	keys := make([]int, 0, len(w))
+	total := 0
+	for k, v := range w {
+		keys = append(keys, k)
+		total += v
+	}
+	sort.Ints(keys)
+	r := rng.Intn(total)
+	for _, k := range keys {
+		r -= w[k]
+		if r < 0 {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// weightedFloat draws a key of the histogram proportionally to its weight.
+func weightedFloat(rng *rand.Rand, w map[float64]int) float64 {
+	keys := make([]float64, 0, len(w))
+	total := 0
+	for k, v := range w {
+		keys = append(keys, k)
+		total += v
+	}
+	sort.Float64s(keys)
+	r := rng.Intn(total)
+	for _, k := range keys {
+		r -= w[k]
+		if r < 0 {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}

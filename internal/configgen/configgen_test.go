@@ -1,0 +1,205 @@
+package configgen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"afdx/internal/afdx"
+)
+
+func TestGenerateDefaultSpecStatistics(t *testing.T) {
+	net, err := Generate(DefaultSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := net.ComputeStats()
+	if st.NumSwitches != 8 {
+		t.Errorf("switches = %d, want 8", st.NumSwitches)
+	}
+	if st.NumEndSystems != 104 {
+		t.Errorf("end systems = %d, want 104", st.NumEndSystems)
+	}
+	if st.NumVLs < 850 || st.NumVLs > 1000 {
+		t.Errorf("VLs = %d, want ~1000 (>=850 admitted)", st.NumVLs)
+	}
+	if st.NumPaths < 4800 {
+		t.Errorf("paths = %d, want ~5000+ (paper: >6000 over two redundant networks)", st.NumPaths)
+	}
+	if st.MaxPathLen < 2 || st.MaxPathLen > 4 {
+		t.Errorf("max path length = %d switches, want within [2,4]", st.MaxPathLen)
+	}
+	// Harmonic BAGs only.
+	for bag := range st.BAGHistogram {
+		switch bag {
+		case 1, 2, 4, 8, 16, 32, 64, 128:
+		default:
+			t.Errorf("non-harmonic BAG %g generated", bag)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must produce identical networks")
+	}
+	c, err := Generate(DefaultSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.VLs, c.VLs) {
+		t.Error("different seeds should produce different VL sets")
+	}
+}
+
+func TestGeneratedNetworkIsFeedForwardAndStable(t *testing.T) {
+	net, err := Generate(DefaultSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		t.Fatalf("generated network must be feed-forward: %v", err)
+	}
+	for id, u := range pg.UtilizationReport() {
+		if u > 0.40+1e-9 {
+			t.Errorf("port %v exceeds the admission ceiling: %g", id, u)
+		}
+	}
+}
+
+func TestGenerateSmallSpec(t *testing.T) {
+	spec := DefaultSpec(3)
+	spec.NumSwitches = 2
+	spec.ESPerSwitch = 2
+	spec.NumVLs = 10
+	net, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Switches) != 2 || len(net.EndSystems) != 4 {
+		t.Errorf("unexpected topology: %d switches, %d ES", len(net.Switches), len(net.EndSystems))
+	}
+	if _, err := afdx.BuildPortGraph(net, afdx.Strict); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	for name, mutate := range map[string]func(*Spec){
+		"one switch":       func(s *Spec) { s.NumSwitches = 1 },
+		"no end systems":   func(s *Spec) { s.ESPerSwitch = 0 },
+		"no VLs":           func(s *Spec) { s.NumVLs = 0 },
+		"zero utilization": func(s *Spec) { s.MaxUtilization = 0 },
+		"over utilization": func(s *Spec) { s.MaxUtilization = 1.5 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			spec := DefaultSpec(1)
+			mutate(&spec)
+			if _, err := Generate(spec); err == nil {
+				t.Error("expected spec rejection")
+			}
+		})
+	}
+}
+
+func TestAdmissionControlDegradesUnderPressure(t *testing.T) {
+	// A tiny ceiling forces the generator to degrade contracts or skip
+	// VLs; whatever it admits must respect the ceiling.
+	spec := DefaultSpec(4)
+	spec.NumVLs = 200
+	spec.MaxUtilization = 0.05
+	net, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, u := range pg.UtilizationReport() {
+		if u > 0.05+1e-9 {
+			t.Errorf("port %v exceeds tight ceiling: %g", id, u)
+		}
+	}
+	if len(net.VLs) == 0 {
+		t.Error("some VLs should still be admitted under a tight ceiling")
+	}
+}
+
+func TestSwitchRoute(t *testing.T) {
+	spec := DefaultSpec(1)
+	topo := newTopology(spec)
+	cases := []struct {
+		a, b string
+		want []string
+	}{
+		{"S1", "S1", []string{"S1"}},
+		{"S1", "S2", []string{"S1", "S2"}},
+		{"S3", "S1", []string{"S3", "S1"}},
+		{"S3", "S5", []string{"S3", "S1", "S5"}},       // both edge under S1
+		{"S4", "S6", []string{"S4", "S2", "S6"}},       // both edge under S2
+		{"S3", "S4", []string{"S3", "S1", "S2", "S4"}}, // across cores
+	}
+	for _, c := range cases {
+		got := topo.switchRoute(c.a, c.b)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("switchRoute(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEsRoute(t *testing.T) {
+	topo := newTopology(DefaultSpec(1))
+	// e001 attaches to S1, so a route to another S1-attached ES crosses
+	// exactly one switch.
+	src, dst := topo.esOf["S1"][0], topo.esOf["S1"][1]
+	got := topo.esRoute(src, dst)
+	if len(got) != 3 || got[1] != "S1" {
+		t.Errorf("local route = %v, want [src S1 dst]", got)
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := map[int]int{1: 90, 10: 10}
+	n1 := 0
+	for i := 0; i < 10000; i++ {
+		if weightedInt(rng, w) == 1 {
+			n1++
+		}
+	}
+	if n1 < 8700 || n1 > 9300 {
+		t.Errorf("weight-90 key drawn %d/10000 times, want ~9000", n1)
+	}
+	wf := map[float64]int{2: 50, 4: 50}
+	saw := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		saw[weightedFloat(rng, wf)] = true
+	}
+	if !saw[2] || !saw[4] {
+		t.Error("both keys should be drawn")
+	}
+}
+
+func TestVlPortsDedup(t *testing.T) {
+	vl := &afdx.VirtualLink{
+		ID: "m", Source: "a", BAGMs: 4, SMaxBytes: 100, SMinBytes: 64,
+		Paths: [][]string{
+			{"a", "X", "Y", "b"},
+			{"a", "X", "Z", "c"},
+		},
+	}
+	ports := vlPorts(vl)
+	if len(ports) != 5 {
+		t.Errorf("got %d ports, want 5 (a->X shared)", len(ports))
+	}
+}

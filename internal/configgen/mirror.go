@@ -1,0 +1,67 @@
+package configgen
+
+import (
+	"fmt"
+
+	"afdx/internal/afdx"
+)
+
+// Mirror materialises the ARINC 664 dual-network redundancy: it returns
+// a configuration holding two isomorphic copies (suffix "A" and "B") of
+// the input's switch fabric and, for every Virtual Link, one copy per
+// sub-network. Physical end systems appear as two model nodes (one port
+// per sub-network, as on real hardware, where each ES has an A port and
+// a B port and transmits every frame on both).
+//
+// The analyses treat the copies independently, which matches ARINC 664
+// redundancy management: the receiving end system keeps the first valid
+// copy of each sequence number, so the worst-case delivery delay of a
+// redundant frame is the minimum of the two per-network worst cases —
+// each bounded by the analysis of its own sub-network. The paper's
+// ">6000 paths" figure counts both sub-networks; Mirror reproduces that
+// accounting.
+func Mirror(n *afdx.Network) (*afdx.Network, error) {
+	if err := n.Validate(afdx.Relaxed); err != nil {
+		return nil, fmt.Errorf("configgen: cannot mirror invalid network: %w", err)
+	}
+	out := &afdx.Network{
+		Name:   n.Name + "-redundant",
+		Params: n.Params,
+	}
+	for _, suffix := range []string{"A", "B"} {
+		for _, es := range n.EndSystems {
+			out.EndSystems = append(out.EndSystems, es+suffix)
+		}
+		for _, sw := range n.Switches {
+			out.Switches = append(out.Switches, sw+suffix)
+		}
+		for _, vl := range n.VLs {
+			cp := &afdx.VirtualLink{
+				ID:        vl.ID + suffix,
+				Source:    vl.Source + suffix,
+				BAGMs:     vl.BAGMs,
+				SMaxBytes: vl.SMaxBytes,
+				SMinBytes: vl.SMinBytes,
+			}
+			for _, path := range vl.Paths {
+				mp := make([]string, len(path))
+				for i, node := range path {
+					mp[i] = node + suffix
+				}
+				cp.Paths = append(cp.Paths, mp)
+			}
+			out.VLs = append(out.VLs, cp)
+		}
+	}
+	if err := out.Validate(afdx.Relaxed); err != nil {
+		return nil, fmt.Errorf("configgen: mirrored network invalid: %w", err)
+	}
+	return out, nil
+}
+
+// RedundantPathID maps a path of the base network to its two mirrored
+// counterparts.
+func RedundantPathID(pid afdx.PathID) (a, b afdx.PathID) {
+	return afdx.PathID{VL: pid.VL + "A", PathIdx: pid.PathIdx},
+		afdx.PathID{VL: pid.VL + "B", PathIdx: pid.PathIdx}
+}

@@ -1,0 +1,108 @@
+package configgen
+
+import (
+	"testing"
+
+	"afdx/internal/afdx"
+	"afdx/internal/core"
+)
+
+func TestMirrorDoublesEverything(t *testing.T) {
+	base := afdx.Figure2Config()
+	red, err := Mirror(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, rs := base.ComputeStats(), red.ComputeStats()
+	if rs.NumEndSystems != 2*bs.NumEndSystems ||
+		rs.NumSwitches != 2*bs.NumSwitches ||
+		rs.NumVLs != 2*bs.NumVLs ||
+		rs.NumPaths != 2*bs.NumPaths {
+		t.Errorf("mirror should double all counts: base %+v, red %+v", bs, rs)
+	}
+	if err := red.Validate(afdx.Strict); err != nil {
+		t.Fatalf("mirrored figure-2 network should be strictly valid: %v", err)
+	}
+}
+
+func TestMirrorSubNetworksAreIndependentAndSymmetric(t *testing.T) {
+	red, err := Mirror(afdx.Figure2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(red, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := core.Compare(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two copies never share a port, so every bound must be equal
+	// between the A and B instances of a path.
+	for _, pid := range afdx.Figure2Config().AllPaths() {
+		a, b := RedundantPathID(pid)
+		pa, pb := cmp.PerPath[a], cmp.PerPath[b]
+		if pa.NCUs != pb.NCUs || pa.TrajectoryUs != pb.TrajectoryUs {
+			t.Errorf("path %v: A and B bounds differ: %+v vs %+v", pid, pa, pb)
+		}
+		if pa.NCUs == 0 {
+			t.Errorf("path %v: missing mirrored bound", pid)
+		}
+	}
+}
+
+func TestMirrorMatchesBaseBounds(t *testing.T) {
+	base := afdx.Figure2Config()
+	pgBase, err := afdx.BuildPortGraph(base, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpBase, err := core.Compare(pgBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Mirror(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgRed, err := afdx.BuildPortGraph(red, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpRed, err := core.Compare(pgRed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range base.AllPaths() {
+		a, _ := RedundantPathID(pid)
+		if cmpBase.PerPath[pid].NCUs != cmpRed.PerPath[a].NCUs {
+			t.Errorf("path %v: mirrored NC bound %g differs from base %g",
+				pid, cmpRed.PerPath[a].NCUs, cmpBase.PerPath[pid].NCUs)
+		}
+	}
+}
+
+func TestMirrorRejectsInvalid(t *testing.T) {
+	n := afdx.Figure2Config()
+	n.VLs[0].BAGMs = -1
+	if _, err := Mirror(n); err == nil {
+		t.Fatal("expected invalid base network to be rejected")
+	}
+}
+
+func TestMirrorGeneratedIndustrial(t *testing.T) {
+	spec := DefaultSpec(5)
+	spec.NumVLs = 60
+	net, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Mirror(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := afdx.BuildPortGraph(red, afdx.Strict); err != nil {
+		t.Fatalf("mirrored generated network must stay feed-forward: %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"afdx/internal/afdx"
+)
+
+// DeadlineVerdict is the certification outcome of one path against its
+// deadline, per method: the practical consequence of tighter bounds is
+// that more paths can be certified.
+type DeadlineVerdict struct {
+	Path       afdx.PathID
+	DeadlineUs float64
+	// Certified by each method (bound <= deadline).
+	NCOk, TrajectoryOk, BestOk bool
+	// MarginUs is deadline minus the combined bound (negative: violated).
+	MarginUs float64
+}
+
+// DeadlineReport summarises a deadline check.
+type DeadlineReport struct {
+	Verdicts []DeadlineVerdict
+	// Counts of certified paths per method.
+	NCCertified, TrajectoryCertified, BestCertified, Total int
+}
+
+// CheckDeadlines verifies every path's combined bound against a
+// deadline. Explicit deadlines (in microseconds) win; paths without one
+// fall back to the VL's BAG when useBAGDefault is set (a frame must be
+// delivered before the next one may be emitted — the common avionics
+// freshness rule), and are skipped otherwise.
+func (c *Comparison) CheckDeadlines(deadlinesUs map[afdx.PathID]float64, useBAGDefault bool) DeadlineReport {
+	var rep DeadlineReport
+	for pid, pc := range c.PerPath {
+		d, ok := deadlinesUs[pid]
+		if !ok {
+			if !useBAGDefault {
+				continue
+			}
+			d = c.Net.VL(pid.VL).BAGUs()
+		}
+		v := DeadlineVerdict{
+			Path:         pid,
+			DeadlineUs:   d,
+			NCOk:         pc.NCUs <= d,
+			TrajectoryOk: pc.TrajectoryUs <= d,
+			BestOk:       pc.BestUs <= d,
+			MarginUs:     d - pc.BestUs,
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+		rep.Total++
+		if v.NCOk {
+			rep.NCCertified++
+		}
+		if v.TrajectoryOk {
+			rep.TrajectoryCertified++
+		}
+		if v.BestOk {
+			rep.BestCertified++
+		}
+	}
+	sort.Slice(rep.Verdicts, func(i, j int) bool {
+		return rep.Verdicts[i].MarginUs < rep.Verdicts[j].MarginUs
+	})
+	return rep
+}
+
+// Violations lists the paths whose combined bound misses the deadline.
+func (r DeadlineReport) Violations() []DeadlineVerdict {
+	var out []DeadlineVerdict
+	for _, v := range r.Verdicts {
+		if !v.BestOk {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (r DeadlineReport) String() string {
+	return fmt.Sprintf("certified %d/%d paths (NC alone: %d, trajectory alone: %d)",
+		r.BestCertified, r.Total, r.NCCertified, r.TrajectoryCertified)
+}

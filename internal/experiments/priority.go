@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"afdx/internal/afdx"
+	"afdx/internal/netcalc"
+	"afdx/internal/report"
+	"afdx/internal/sim"
+)
+
+// PriorityRow compares, for one path of the two-level sample
+// configuration, the static-priority Network Calculus bound with the
+// flat FIFO bound and the worst simulated delay.
+type PriorityRow struct {
+	Path     afdx.PathID
+	Priority int
+	SPUs     float64
+	FIFOUs   float64
+	SimMaxUs float64
+}
+
+// PriorityStudy analyses the Figure 2 configuration with v3/v4 demoted
+// to the low priority level: the ARINC 664 two-level QoS extension
+// studied in the group's companion papers (Ridouard et al.). The
+// Trajectory engine is FIFO-only (like the paper's), so the comparison
+// is Network Calculus SP vs Network Calculus FIFO, validated by
+// simulation.
+func PriorityStudy() ([]PriorityRow, error) {
+	sp := afdx.Figure2Config()
+	sp.VLs[2].Priority = 1
+	sp.VLs[3].Priority = 1
+	pgSP, err := afdx.BuildPortGraph(sp, afdx.Strict)
+	if err != nil {
+		return nil, err
+	}
+	resSP, err := netcalc.Analyze(pgSP, netcalc.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	pgFIFO, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		return nil, err
+	}
+	resFIFO, err := netcalc.Analyze(pgFIFO, netcalc.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	worst := map[afdx.PathID]float64{}
+	for seed := int64(0); seed < 40; seed++ {
+		cfg := sim.DefaultConfig(seed)
+		cfg.DurationUs = 64_000
+		sr, err := sim.Run(pgSP, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for pid, st := range sr.Paths {
+			if st.MaxDelayUs > worst[pid] {
+				worst[pid] = st.MaxDelayUs
+			}
+		}
+	}
+	var rows []PriorityRow
+	for _, pid := range sp.AllPaths() {
+		rows = append(rows, PriorityRow{
+			Path:     pid,
+			Priority: sp.VL(pid.VL).Priority,
+			SPUs:     resSP.PathDelays[pid],
+			FIFOUs:   resFIFO.PathDelays[pid],
+			SimMaxUs: worst[pid],
+		})
+	}
+	return rows, nil
+}
+
+func runPriority(w io.Writer, _ int64) error {
+	rows, err := PriorityStudy()
+	if err != nil {
+		return err
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		lvl := "high"
+		if r.Priority > 0 {
+			lvl = "low"
+		}
+		out = append(out, []string{
+			r.Path.String(), lvl,
+			report.Us(r.SPUs), report.Us(r.FIFOUs), report.Us(r.SimMaxUs),
+		})
+	}
+	fmt.Fprintln(w, "Static-priority extension (beyond the paper, per the companion QoS")
+	fmt.Fprintln(w, "papers): Figure 2 with v3/v4 demoted to the low level. High-priority")
+	fmt.Fprintln(w, "paths tighten, low-priority paths pay for it; simulation validates:")
+	fmt.Fprintln(w)
+	return report.Table(w,
+		[]string{"path", "level", "NC static-priority (us)", "NC FIFO (us)", "sim max (us)"},
+		out)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"afdx/internal/core"
+	"afdx/internal/report"
+)
+
+// RobustnessRow is one seed's Table I statistics.
+type RobustnessRow struct {
+	Seed    int64
+	Summary core.Summary
+}
+
+// Robustness re-runs the Table I comparison over several generator
+// seeds: the paper's qualitative claims must hold for every synthetic
+// configuration, not one lucky draw.
+func Robustness(seeds []int64) ([]RobustnessRow, error) {
+	var rows []RobustnessRow
+	for _, seed := range seeds {
+		r, err := Industrial(seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		rows = append(rows, RobustnessRow{Seed: seed, Summary: r.Comparison.Summary()})
+	}
+	return rows, nil
+}
+
+func runRobustness(w io.Writer, seed int64) error {
+	seeds := []int64{seed, seed + 1, seed + 2}
+	rows, err := Robustness(seeds)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Seed),
+			report.Int(r.Summary.NumPaths),
+			report.Pct(r.Summary.MeanBenefitPct),
+			report.Pct(r.Summary.MaxBenefitPct),
+			report.Pct(r.Summary.MinBenefitPct),
+			fmt.Sprintf("%.1f%%", r.Summary.TrajectoryWinFrac*100),
+		})
+	}
+	fmt.Fprintln(w, "Table I statistics across generator seeds (the paper's qualitative")
+	fmt.Fprintln(w, "claims — positive mean, large-majority trajectory wins, NC winning a")
+	fmt.Fprintln(w, "minority — must hold for every seed):")
+	fmt.Fprintln(w)
+	return report.Table(w,
+		[]string{"seed", "paths", "mean benefit", "max", "min", "trajectory wins"}, out)
+}
+
+// DeadlineStudy certifies every industrial path against the BAG-as-
+// deadline freshness rule and reports how many paths each method
+// certifies — the practical consequence of tighter bounds.
+func DeadlineStudy(seed int64) (core.DeadlineReport, error) {
+	r, err := Industrial(seed)
+	if err != nil {
+		return core.DeadlineReport{}, err
+	}
+	return r.Comparison.CheckDeadlines(nil, true), nil
+}
+
+func runDeadlines(w io.Writer, seed int64) error {
+	rep, err := DeadlineStudy(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Certification against the BAG-as-deadline freshness rule on the")
+	fmt.Fprintln(w, "industrial configuration (a path is certified when the method's bound")
+	fmt.Fprintln(w, "stays below the VL's BAG):")
+	fmt.Fprintln(w)
+	if err := report.Table(w, []string{"method", "certified paths", "of"}, [][]string{
+		{"Network Calculus", report.Int(rep.NCCertified), report.Int(rep.Total)},
+		{"Trajectory", report.Int(rep.TrajectoryCertified), report.Int(rep.Total)},
+		{"Combined (best)", report.Int(rep.BestCertified), report.Int(rep.Total)},
+	}); err != nil {
+		return err
+	}
+	if v := rep.Violations(); len(v) > 0 {
+		fmt.Fprintf(w, "%d paths miss even the combined bound; tightest margin %0.2f us (%v)\n",
+			len(v), v[0].MarginUs, v[0].Path)
+	} else {
+		fmt.Fprintln(w, "every path is certified by the combined approach")
+	}
+	return nil
+}

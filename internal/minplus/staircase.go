@@ -1,0 +1,84 @@
+package minplus
+
+import "fmt"
+
+// Staircase returns the exact arrival curve of a sporadic flow with
+// frame size s and minimum inter-arrival time T:
+//
+//	alpha(t) = s * (1 + floor(t / T))
+//
+// truncated after steps exact steps, beyond which the curve continues
+// with the flow's leaky-bucket envelope gamma_{s/T, s} (which dominates
+// the staircase everywhere and coincides with it at step instants, so
+// the truncated curve is still a valid arrival curve and is exact on
+// [0, steps*T]).
+//
+// The paper's section II-B names the use of leaky-bucket envelopes
+// instead of the exact arrival curve as one of the intrinsic pessimism
+// sources of the Network Calculus approach; Staircase is the
+// corresponding refinement (netcalc.Options.StairSteps).
+func Staircase(s, T float64, steps int) (Curve, error) {
+	if s <= 0 || T <= 0 {
+		return Curve{}, fmt.Errorf("minplus: Staircase needs positive size and period, got s=%g T=%g", s, T)
+	}
+	if steps < 1 {
+		return Curve{}, fmt.Errorf("minplus: Staircase needs at least one step, got %d", steps)
+	}
+	segs := make([]Segment, 0, steps+1)
+	for k := 0; k < steps; k++ {
+		segs = append(segs, Segment{X: float64(k) * T, Y: s * float64(k+1), Slope: 0})
+	}
+	segs = append(segs, Segment{X: float64(steps) * T, Y: s * float64(steps+1), Slope: s / T})
+	return NewCurve(segs)
+}
+
+// MustStaircase is Staircase that panics on invalid input.
+func MustStaircase(s, T float64, steps int) Curve {
+	c, err := Staircase(s, T, steps)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// StaircaseWithJitter returns the arrival curve of a sporadic flow with
+// frame size s and period T observed after it accumulated up to jitter
+// time units of delay variation:
+//
+//	alpha(t) = s * (1 + floor((t + jitter) / T))
+//
+// exact for the first steps jumps after t=0, then continued with the
+// dominating jittered leaky bucket gamma_{s/T, s*(1+jitter/T)}. With
+// jitter = 0 this is Staircase.
+func StaircaseWithJitter(s, T, jitter float64, steps int) (Curve, error) {
+	if jitter < 0 {
+		return Curve{}, fmt.Errorf("minplus: negative jitter %g", jitter)
+	}
+	if jitter == 0 {
+		return Staircase(s, T, steps)
+	}
+	if s <= 0 || T <= 0 {
+		return Curve{}, fmt.Errorf("minplus: StaircaseWithJitter needs positive size and period, got s=%g T=%g", s, T)
+	}
+	if steps < 1 {
+		return Curve{}, fmt.Errorf("minplus: StaircaseWithJitter needs at least one step, got %d", steps)
+	}
+	// Count already released at t=0: m0 = floor(jitter/T); jumps occur at
+	// t_m = m*T - jitter for integer m > jitter/T.
+	m0 := int(jitter / T)
+	segs := []Segment{{X: 0, Y: s * float64(m0+1), Slope: 0}}
+	for k := 1; k <= steps; k++ {
+		m := m0 + k
+		t := float64(m)*T - jitter
+		if t <= Eps {
+			// Floating-point edge: the jump coincides with the origin.
+			segs[0].Y = s * float64(m+1)
+			continue
+		}
+		segs = append(segs, Segment{X: t, Y: s * float64(m+1), Slope: 0})
+	}
+	// Tail: continue with the jittered leaky bucket from the last jump
+	// (it dominates the staircase and coincides with it at every jump).
+	segs[len(segs)-1].Slope = s / T
+	return NewCurve(segs)
+}

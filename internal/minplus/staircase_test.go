@@ -1,0 +1,160 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStaircaseValues(t *testing.T) {
+	c := MustStaircase(4000, 1000, 4)
+	cases := []struct{ t, want float64 }{
+		{0, 4000},
+		{999, 4000},
+		{1000, 8000},
+		{2500, 12000},
+		{3999, 16000},
+		{4000, 20000},
+		// Beyond the exact steps the curve follows the leaky bucket.
+		{5000, 4000 + 4*5000},
+		{10000, 4000 + 4*10000},
+	}
+	for _, tc := range cases {
+		if got := c.Eval(tc.t); !almostEq(got, tc.want) {
+			t.Errorf("staircase(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestStaircaseDominatedByLeakyBucket(t *testing.T) {
+	s, T := 4000.0, 1000.0
+	c := MustStaircase(s, T, 8)
+	lb := LeakyBucket(s, s/T)
+	for x := 0.0; x < 12000; x += 37 {
+		if c.Eval(x) > lb.Eval(x)+1e-6 {
+			t.Fatalf("staircase(%g)=%g exceeds leaky bucket %g", x, c.Eval(x), lb.Eval(x))
+		}
+	}
+	// Equality at step instants.
+	for k := 1; k <= 8; k++ {
+		x := float64(k) * T
+		if !almostEq(c.Eval(x), lb.Eval(x)) {
+			t.Errorf("staircase and leaky bucket must agree at %g: %g vs %g",
+				x, c.Eval(x), lb.Eval(x))
+		}
+	}
+}
+
+func TestStaircaseRejectsBadInput(t *testing.T) {
+	if _, err := Staircase(0, 10, 4); err == nil {
+		t.Error("zero size should be rejected")
+	}
+	if _, err := Staircase(10, 0, 4); err == nil {
+		t.Error("zero period should be rejected")
+	}
+	if _, err := Staircase(10, 10, 0); err == nil {
+		t.Error("zero steps should be rejected")
+	}
+	if _, err := StaircaseWithJitter(10, 10, -1, 4); err == nil {
+		t.Error("negative jitter should be rejected")
+	}
+}
+
+func TestStaircaseWithJitterValues(t *testing.T) {
+	// s=100, T=1000, jitter=250: two frames can appear within the first
+	// 750 us window end (jump at 1000-250=750).
+	c, err := StaircaseWithJitter(100, 1000, 250, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 100},
+		{749, 100},
+		{750, 200},
+		{1749, 200},
+		{1750, 300},
+	}
+	for _, tc := range cases {
+		if got := c.Eval(tc.t); !almostEq(got, tc.want) {
+			t.Errorf("jittered staircase(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestStaircaseWithLargeJitter(t *testing.T) {
+	// jitter = 2.5 periods: 3 frames may already be backlogged at t=0.
+	c, err := StaircaseWithJitter(100, 1000, 2500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval(0); !almostEq(got, 300) {
+		t.Errorf("value at 0 = %g, want 300", got)
+	}
+	if got := c.Eval(500); !almostEq(got, 400) {
+		t.Errorf("value at 500 = %g, want 400 (jump at 3T - jitter = 500)", got)
+	}
+}
+
+func TestStaircaseWithJitterDominatedByJitteredLB(t *testing.T) {
+	s, T, J := 333.0, 700.0, 450.0
+	c, err := StaircaseWithJitter(s, T, J, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := LeakyBucket(s+J*s/T, s/T)
+	for x := 0.0; x < 8000; x += 13 {
+		if c.Eval(x) > lb.Eval(x)+1e-6 {
+			t.Fatalf("jittered staircase(%g)=%g exceeds jittered LB %g", x, c.Eval(x), lb.Eval(x))
+		}
+	}
+}
+
+func TestStaircaseZeroJitterEqualsStaircase(t *testing.T) {
+	a, err := StaircaseWithJitter(100, 1000, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MustStaircase(100, 1000, 4)
+	for x := 0.0; x < 6000; x += 111 {
+		if !almostEq(a.Eval(x), b.Eval(x)) {
+			t.Fatalf("mismatch at %g: %g vs %g", x, a.Eval(x), b.Eval(x))
+		}
+	}
+}
+
+func TestStaircaseHorizontalDeviationMatchesLeakyBucketWithoutJitter(t *testing.T) {
+	// Against a rate-latency server the deviation of a stable flow is
+	// attained at the initial burst, which staircase and leaky bucket
+	// share: without jitter the refinement changes nothing.
+	beta := RateLatency(10, 5)
+	stair := MustStaircase(4000, 1000, 16)
+	lb := LeakyBucket(4000, 4)
+	hStair := HorizontalDeviation(stair, beta)
+	hLB := HorizontalDeviation(lb, beta)
+	if math.IsInf(hStair, 1) || math.IsInf(hLB, 1) {
+		t.Fatal("stable cases must be finite")
+	}
+	if !almostEq(hStair, hLB) {
+		t.Errorf("deviations should coincide without jitter: %g vs %g", hStair, hLB)
+	}
+}
+
+func TestStaircaseJitterFloorTightensDeviation(t *testing.T) {
+	// The refinement bites downstream: a fractional accumulated jitter
+	// inflates the leaky-bucket burst by rho*J, while the staircase only
+	// releases floor(J/T) extra frames — zero here, since J < T.
+	s, T, J := 4000.0, 4000.0, 150.0
+	beta := RateLatency(100, 16)
+	stair, err := StaircaseWithJitter(s, T, J, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := LeakyBucket(s+J*s/T, s/T)
+	hStair := HorizontalDeviation(stair, beta)
+	hLB := HorizontalDeviation(lb, beta)
+	if hStair >= hLB {
+		t.Errorf("jittered staircase deviation %g should beat leaky bucket %g", hStair, hLB)
+	}
+	if want := 16 + s/100; !almostEq(hStair, want) {
+		t.Errorf("staircase deviation = %g, want %g (burst of one frame)", hStair, want)
+	}
+}

@@ -1,0 +1,341 @@
+// Package netcalc implements the Worst-Case Network Calculus (WCNC)
+// end-to-end delay analysis used for AFDX certification, as described in
+// the paper and its companion references (Charara et al., ECRTS 2006;
+// Grieu's thesis; Le Boudec & Thiran for the underlying theory),
+// including the grouping (serialization) refinement.
+//
+// The analysis is holistic: output ports are processed in topological
+// (feed-forward) order; at each port the delay bound is the horizontal
+// deviation between the aggregate arrival curve of the competing flows
+// and the port's rate-latency service curve, and each flow's envelope is
+// then inflated by the port delay before being propagated downstream.
+package netcalc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"afdx/internal/afdx"
+	"afdx/internal/minplus"
+)
+
+// Options selects analysis variants.
+type Options struct {
+	// Grouping enables the serialization refinement: flows entering a
+	// switch through the same input link are jointly shaped by a leaky
+	// bucket with burst = largest member frame and rate = link rate.
+	// This is the "grouping technique" of the paper (Section II-B).
+	Grouping bool
+	// Deconvolution propagates per-flow output envelopes with the exact
+	// (min,+) deconvolution against the port's residual service instead
+	// of the classical burst inflation b <- b + rho*D. This is an
+	// ablation knob; the paper's tool uses burst inflation.
+	Deconvolution bool
+	// StairSteps, when positive, replaces each flow's leaky-bucket
+	// envelope with its exact staircase arrival curve (shifted by the
+	// accumulated upstream delay bound), truncated to that many exact
+	// steps before falling back to the leaky bucket. This addresses the
+	// pessimism source the paper names in section II-B ("envelopes are
+	// used instead of the exact arrival curve"); it only bites when port
+	// busy periods span several BAGs. Zero keeps the paper's leaky
+	// buckets.
+	StairSteps int
+}
+
+// DefaultOptions returns the configuration matching the paper's WCNC
+// column: grouping enabled, classical burst-inflation propagation.
+func DefaultOptions() Options { return Options{Grouping: true} }
+
+// PortResult carries the per-output-port bounds: the delay bound (which
+// every frame crossing the port experiences at most, from arrival at the
+// port to complete transmission on the outgoing link) and the backlog
+// bound used to dimension the port's FIFO buffer.
+//
+// On ports multiplexing several static-priority levels (ARINC 664
+// switches offer a high/low level), DelayByPriority holds one bound per
+// level — higher levels (smaller numbers) see the port's service minus
+// one non-preemptive blocking frame, lower levels see the service left
+// over by the higher ones — and DelayUs is the worst of them. The
+// backlog bound covers the shared buffer across levels.
+type PortResult struct {
+	DelayUs         float64
+	DelayByPriority map[int]float64
+	BacklogBits     float64
+	Utilization     float64
+}
+
+// FlowPortKey identifies a (VL, port) incidence.
+type FlowPortKey struct {
+	VL   string
+	Port afdx.PortID
+}
+
+// Result is the outcome of a WCNC analysis of a full configuration.
+type Result struct {
+	Opts  Options
+	Ports map[afdx.PortID]PortResult
+	// PathDelays maps every (VL, destination) path to its end-to-end
+	// delay upper bound in microseconds.
+	PathDelays map[afdx.PathID]float64
+	// PrefixDelays maps (VL, port) to an upper bound on the time between
+	// the frame's emission and its arrival at that port (the sum of the
+	// delay bounds of the ports crossed before it). Used as the S_max
+	// term by the Trajectory approach.
+	PrefixDelays map[FlowPortKey]float64
+	// Bursts maps (VL, port) to the flow's burst (bits) as it arrives at
+	// the port, after upstream jitter inflation.
+	Bursts map[FlowPortKey]float64
+}
+
+// Analyze runs the WCNC analysis over a feed-forward port graph.
+// It returns an error when a port is unstable (aggregate long-term rate
+// above the link rate), since no finite bound exists in that case.
+func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
+	res := &Result{
+		Opts:         opts,
+		Ports:        make(map[afdx.PortID]PortResult, len(pg.Ports)),
+		PathDelays:   map[afdx.PathID]float64{},
+		PrefixDelays: map[FlowPortKey]float64{},
+		Bursts:       map[FlowPortKey]float64{},
+	}
+	// Initialise source-port envelopes: at its source end system every VL
+	// is freshly shaped to (s_max, s_max/BAG).
+	for _, id := range pg.Order {
+		port := pg.Ports[id]
+		for _, f := range port.Flows {
+			if f.Prev == "" {
+				res.Bursts[FlowPortKey{f.VL.ID, id}] = f.VL.SMaxBits()
+				res.PrefixDelays[FlowPortKey{f.VL.ID, id}] = 0
+			}
+		}
+	}
+	for _, id := range pg.Order {
+		if err := analyzePort(pg, id, res); err != nil {
+			return nil, err
+		}
+	}
+	for _, pid := range pg.Net.AllPaths() {
+		prio := pg.Net.VL(pid.VL).Priority
+		total := 0.0
+		for _, portID := range pg.PathPorts(pid) {
+			total += res.Ports[portID].DelayByPriority[prio]
+		}
+		res.PathDelays[pid] = total
+	}
+	return res, nil
+}
+
+// flowEnvelope returns the arrival envelope of one flow as it arrives
+// at a port: the jitter-inflated leaky bucket, or (with StairSteps > 0)
+// the exact jitter-shifted staircase curve.
+func flowEnvelope(res *Result, vl *afdx.VirtualLink, port afdx.PortID) (minplus.Curve, error) {
+	key := FlowPortKey{vl.ID, port}
+	b, ok := res.Bursts[key]
+	if !ok {
+		return minplus.Curve{}, fmt.Errorf("netcalc: no propagated envelope for VL %s at port %s (port order broken)", vl.ID, port)
+	}
+	lb := minplus.LeakyBucket(b, vl.RhoBitsPerUs())
+	if res.Opts.StairSteps <= 0 {
+		return lb, nil
+	}
+	// The staircase jitter is the accumulated upstream delay bound: a
+	// frame emitted at t arrives at this port within
+	// [t + minTransit, t + prefixDelay], so in the worst case the
+	// window of length x holds the frames of a window of length
+	// x + prefixDelay at the source.
+	jitter := res.PrefixDelays[key]
+	stair, err := minplus.StaircaseWithJitter(vl.SMaxBits(), vl.BAGUs(), jitter, res.Opts.StairSteps)
+	if err != nil {
+		return minplus.Curve{}, fmt.Errorf("netcalc: staircase envelope for VL %s at %s: %w", vl.ID, port, err)
+	}
+	// Keep the leaky bucket as a second valid envelope; their minimum is
+	// a tighter valid envelope (they can dominate each other depending
+	// on how the jitter relates to the burst inflation).
+	return minplus.Min(lb, stair), nil
+}
+
+func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) error {
+	port := pg.Ports[id]
+	beta := minplus.RateLatency(port.RateBitsPerUs, port.LatencyUs)
+
+	// Grouped aggregate arrival curve per priority level, plus the total
+	// for stability and backlog.
+	levelAgg := map[int]minplus.Curve{}
+	levels := []int{}
+	rhoSum := 0.0
+	for prev, group := range port.InputGroups() {
+		// Grouping applies within a priority level: a link serializes
+		// all frames, but the shaping below feeds per-level residual
+		// services, so split the group by level first (conservative:
+		// cross-level serialization is not exploited).
+		byLevel := map[int][]afdx.PortFlow{}
+		for _, f := range group {
+			byLevel[f.VL.Priority] = append(byLevel[f.VL.Priority], f)
+			rhoSum += f.VL.RhoBitsPerUs()
+		}
+		for lvl, flows := range byLevel {
+			var members = minplus.Zero()
+			maxFrame := 0.0
+			for _, f := range flows {
+				env, err := flowEnvelope(res, f.VL, id)
+				if err != nil {
+					return err
+				}
+				members = minplus.Add(members, env)
+				if s := f.VL.SMaxBits(); s > maxFrame {
+					maxFrame = s
+				}
+			}
+			groupEnv := members
+			if res.Opts.Grouping && prev != "" && len(flows) > 1 {
+				// Serialization on the shared input link: the group
+				// cannot burst faster than the link transmits, one
+				// largest frame ahead (the paper's leaky-bucket shaping
+				// with "a rate equal to the rate of the source" link).
+				inRate := port.RateBitsPerUs
+				if in := pg.Ports[afdx.PortID{From: prev, To: id.From}]; in != nil {
+					inRate = in.RateBitsPerUs
+				}
+				shaping := minplus.LeakyBucket(maxFrame, inRate)
+				groupEnv = minplus.Min(members, shaping)
+			}
+			if cur, ok := levelAgg[lvl]; ok {
+				levelAgg[lvl] = minplus.Add(cur, groupEnv)
+			} else {
+				levelAgg[lvl] = groupEnv
+				levels = append(levels, lvl)
+			}
+		}
+	}
+	sort.Ints(levels)
+
+	if rhoSum > port.RateBitsPerUs+minplus.Eps {
+		return fmt.Errorf("netcalc: port %s unstable: aggregate rate %.3f bits/us exceeds link rate %.3f",
+			id, rhoSum, port.RateBitsPerUs)
+	}
+
+	// Per-level delay bounds: level p is served by the port's service
+	// minus the higher levels' arrivals and minus one non-preemptive
+	// blocking frame of the lower levels. With a single level this is
+	// exactly the FIFO analysis of the paper.
+	delayByPrio := map[int]float64{}
+	total := minplus.Zero()
+	worst := 0.0
+	higher := minplus.Zero()
+	for i, lvl := range levels {
+		blocking := 0.0
+		for _, f := range port.Flows {
+			if f.VL.Priority > lvl {
+				if s := f.VL.SMaxBits(); s > blocking {
+					blocking = s
+				}
+			}
+		}
+		residual := beta
+		if i > 0 || blocking > 0 {
+			var err error
+			residual, err = minplus.SubPos(beta, minplus.Add(higher, minplus.Plateau(blocking)))
+			if err != nil {
+				return fmt.Errorf("netcalc: port %s level %d residual service: %w", id, lvl, err)
+			}
+		}
+		delay := minplus.HorizontalDeviation(levelAgg[lvl], residual)
+		if math.IsInf(delay, 1) {
+			return fmt.Errorf("netcalc: port %s: unbounded delay at priority %d", id, lvl)
+		}
+		delayByPrio[lvl] = delay
+		if delay > worst {
+			worst = delay
+		}
+		higher = minplus.Add(higher, levelAgg[lvl])
+		total = minplus.Add(total, levelAgg[lvl])
+	}
+	backlog := minplus.VerticalDeviation(total, beta)
+	res.Ports[id] = PortResult{
+		DelayUs:         worst,
+		DelayByPriority: delayByPrio,
+		BacklogBits:     backlog,
+		Utilization:     rhoSum / port.RateBitsPerUs,
+	}
+
+	// Propagate each flow's envelope to its next port(s) using its own
+	// priority level's delay bound.
+	for _, f := range port.Flows {
+		key := FlowPortKey{f.VL.ID, id}
+		delay := delayByPrio[f.VL.Priority]
+		nextBurst, err := outputBurst(res, f.VL, id, delay)
+		if err != nil {
+			return err
+		}
+		for _, next := range nextPorts(pg, f.VL, id) {
+			nk := FlowPortKey{f.VL.ID, next}
+			res.Bursts[nk] = nextBurst
+			res.PrefixDelays[nk] = res.PrefixDelays[key] + delay
+		}
+	}
+	return nil
+}
+
+// outputBurst computes the burst of a flow after it crosses a port whose
+// aggregate delay bound is delay. The classical propagation inflates the
+// burst by rho*delay (the output traffic is bounded by alpha(t+delay));
+// the Deconvolution option instead deconvolves the flow envelope against
+// a latency-only service beta_{R, delay} which yields the same burst for
+// leaky buckets but is kept as an explicit ablation of the theory.
+func outputBurst(res *Result, vl *afdx.VirtualLink, id afdx.PortID, delay float64) (float64, error) {
+	b := res.Bursts[FlowPortKey{vl.ID, id}]
+	if !res.Opts.Deconvolution {
+		return b + vl.RhoBitsPerUs()*delay, nil
+	}
+	env := minplus.LeakyBucket(b, vl.RhoBitsPerUs())
+	// In FIFO aggregation the flow is guaranteed the aggregate's delay
+	// bound as a pure delay service: beta_delay(t) = +inf for t > delay.
+	// Deconvolving against the delay service gives alpha(t + delay);
+	// we realise it as a very fast rate-latency curve.
+	delayService := minplus.RateLatency(1e12, delay)
+	out, err := minplus.Deconvolve(env, delayService)
+	if err != nil {
+		return 0, fmt.Errorf("netcalc: propagating VL %s past port %s: %w", vl.ID, id, err)
+	}
+	return out.ValueAtZero(), nil
+}
+
+// nextPorts lists the ports immediately downstream of id on the paths of
+// the given VL (several for a multicast branch, none at the last hop).
+func nextPorts(pg *afdx.PortGraph, vl *afdx.VirtualLink, id afdx.PortID) []afdx.PortID {
+	var out []afdx.PortID
+	seen := map[afdx.PortID]bool{}
+	for pi := range vl.Paths {
+		seq := pg.PathPorts(afdx.PathID{VL: vl.ID, PathIdx: pi})
+		for k := 0; k+1 < len(seq); k++ {
+			if seq[k] == id && !seen[seq[k+1]] {
+				seen[seq[k+1]] = true
+				out = append(out, seq[k+1])
+			}
+		}
+	}
+	return out
+}
+
+// PathDelay returns the end-to-end bound of one path, or an error when
+// the path is unknown.
+func (r *Result) PathDelay(id afdx.PathID) (float64, error) {
+	d, ok := r.PathDelays[id]
+	if !ok {
+		return 0, fmt.Errorf("netcalc: unknown path %v", id)
+	}
+	return d, nil
+}
+
+// MaxBacklogBits returns the largest per-port backlog bound, i.e. the
+// switch buffer dimensioning figure mentioned in the paper's section II-B.
+func (r *Result) MaxBacklogBits() float64 {
+	m := 0.0
+	for _, p := range r.Ports {
+		if p.BacklogBits > m {
+			m = p.BacklogBits
+		}
+	}
+	return m
+}

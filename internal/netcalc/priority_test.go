@@ -1,0 +1,197 @@
+package netcalc
+
+import (
+	"testing"
+
+	"afdx/internal/afdx"
+	"afdx/internal/sim"
+)
+
+// priorityConfig is the Figure 2 configuration with v3 and v4 demoted to
+// the low-priority level (v1, v2, v5 stay high).
+func priorityConfig() *afdx.Network {
+	n := afdx.Figure2Config()
+	n.VLs[2].Priority = 1
+	n.VLs[3].Priority = 1
+	return n
+}
+
+func TestPriorityBoundsOrdering(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(priorityConfig(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(pg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At S3->e6 the high level (v1, v2) is served before the low level
+	// (v3, v4): the high bound must be below the FIFO bound of the flat
+	// configuration, the low bound above it.
+	flatPG, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Analyze(flatPG, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := afdx.PortID{From: "S3", To: "e6"}
+	high := res.Ports[port].DelayByPriority[0]
+	low := res.Ports[port].DelayByPriority[1]
+	fifo := flat.Ports[port].DelayUs
+	if high >= fifo {
+		t.Errorf("high-priority delay %g should beat the FIFO delay %g", high, fifo)
+	}
+	if low <= fifo {
+		t.Errorf("low-priority delay %g should exceed the FIFO delay %g", low, fifo)
+	}
+	if res.Ports[port].DelayUs != low {
+		t.Errorf("port worst delay %g should be the low level's %g", res.Ports[port].DelayUs, low)
+	}
+	// Path bounds follow the levels.
+	dv1 := res.PathDelays[afdx.PathID{VL: "v1", PathIdx: 0}]
+	dv3 := res.PathDelays[afdx.PathID{VL: "v3", PathIdx: 0}]
+	fv1 := flat.PathDelays[afdx.PathID{VL: "v1", PathIdx: 0}]
+	if dv1 >= fv1 {
+		t.Errorf("high-priority v1 bound %g should beat the FIFO bound %g", dv1, fv1)
+	}
+	if dv3 <= fv1 {
+		t.Errorf("low-priority v3 bound %g should exceed the FIFO bound %g", dv3, fv1)
+	}
+}
+
+func TestPriorityHighLevelBlockingAccounted(t *testing.T) {
+	// The high level still suffers one non-preemptive low frame: its
+	// bound at the shared port must exceed the bound it would get with
+	// the low VLs removed entirely.
+	n := priorityConfig()
+	pg, err := afdx.BuildPortGraph(n, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(pg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone := afdx.Figure2Config()
+	alone.VLs = alone.VLs[:2] // v1, v2 only
+	// keep v5 out as well; it shares no port with v1/v2
+	pgAlone, err := afdx.BuildPortGraph(alone, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resAlone, err := Analyze(pgAlone, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := afdx.PortID{From: "S3", To: "e6"}
+	withBlocking := res.Ports[port].DelayByPriority[0]
+	noLow := resAlone.Ports[port].DelayUs
+	if withBlocking <= noLow {
+		t.Errorf("high-priority delay %g must include low-frame blocking (> %g)",
+			withBlocking, noLow)
+	}
+	// The blocking is at most one low frame (40 us) plus second-order
+	// burst effects.
+	if withBlocking > noLow+41 {
+		t.Errorf("blocking term too large: %g vs %g", withBlocking, noLow)
+	}
+}
+
+func TestPriorityBacklogCoversAllLevels(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(priorityConfig(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(pg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatPG, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Analyze(flatPG, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Priorities do not change the total buffer requirement materially;
+	// the bound must stay within a small factor of the FIFO one (burst
+	// propagation differs slightly because per-level delays differ).
+	port := afdx.PortID{From: "S3", To: "e6"}
+	if res.Ports[port].BacklogBits < flat.Ports[port].BacklogBits/2 ||
+		res.Ports[port].BacklogBits > flat.Ports[port].BacklogBits*2 {
+		t.Errorf("priority backlog %g suspicious vs FIFO %g",
+			res.Ports[port].BacklogBits, flat.Ports[port].BacklogBits)
+	}
+}
+
+func TestPrioritySimulationWithinNCBounds(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(priorityConfig(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(pg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := sim.DefaultConfig(seed)
+		cfg.DurationUs = 64_000
+		sr, err := sim.Run(pg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid, st := range sr.Paths {
+			if st.MaxDelayUs > res.PathDelays[pid]+1e-6 {
+				t.Errorf("seed %d path %v: simulated %g above the SP NC bound %g",
+					seed, pid, st.MaxDelayUs, res.PathDelays[pid])
+			}
+		}
+	}
+	// The adversarial synchronized burst too.
+	cfg := sim.Config{
+		DurationUs: 4000,
+		OffsetsUs:  map[string]float64{"v1": 0, "v2": 0, "v3": 0, "v4": 0, "v5": 0},
+	}
+	sr, err := sim.Run(pg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, st := range sr.Paths {
+		if st.MaxDelayUs > res.PathDelays[pid]+1e-6 {
+			t.Errorf("burst path %v: simulated %g above the SP NC bound %g",
+				pid, st.MaxDelayUs, res.PathDelays[pid])
+		}
+	}
+}
+
+func TestUniformPriorityMatchesFIFOAnalysis(t *testing.T) {
+	shifted := afdx.Figure2Config()
+	for _, v := range shifted.VLs {
+		v.Priority = 2
+	}
+	pgShift, err := afdx.BuildPortGraph(shifted, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resShift, err := Analyze(pgShift, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatPG, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Analyze(flatPG, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, d := range flat.PathDelays {
+		if !almostEq(resShift.PathDelays[pid], d) {
+			t.Errorf("path %v: uniform priority changed the bound %g -> %g",
+				pid, d, resShift.PathDelays[pid])
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package report renders the experiment outputs: fixed-width ASCII
+// tables for terminals and CSV series for plotting, matching the rows
+// and series the paper's tables and figures display.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes a fixed-width ASCII table with a header row.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		b.WriteString("|")
+		for i := range headers {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", widths[i], cell)
+		}
+		return b.String()
+	}
+	sep := "+"
+	for _, wd := range widths {
+		sep += strings.Repeat("-", wd+2) + "+"
+	}
+	if _, err := fmt.Fprintln(w, sep); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sep); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, sep)
+	return err
+}
+
+// CSV writes a simple comma-separated table (no quoting: the reports
+// only emit numeric cells and plain identifiers).
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Us formats a microsecond quantity.
+func Us(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct formats a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// Int formats an integer cell.
+func Int(v int) string { return fmt.Sprintf("%d", v) }

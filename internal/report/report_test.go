@@ -1,0 +1,64 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"beta", "22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"name", "alpha", "22", "+"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len(lines[0])
+	for _, l := range lines {
+		if len(l) != width {
+			t.Errorf("ragged table line %q", l)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table(&buf, []string{"a", "b"}, [][]string{{"only"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Error("short rows should render with empty padding")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, []string{"x", "y"}, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Us(1.234) != "1.23" {
+		t.Errorf("Us = %q", Us(1.234))
+	}
+	if Pct(10.5) != "10.50%" {
+		t.Errorf("Pct = %q", Pct(10.5))
+	}
+	if Int(7) != "7" {
+		t.Errorf("Int = %q", Int(7))
+	}
+}

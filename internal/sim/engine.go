@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"container/heap"
+
+	"afdx/internal/afdx"
+)
+
+// The queueing engine: each output port holds a priority queue of ready
+// frames (ARINC 664 switches offer static priority levels; with every
+// VL at the same level the engine degenerates to plain FIFO). Service
+// is non-preemptive: once a frame's transmission starts it completes.
+//
+// Event kinds:
+//
+//	evArrive - a frame is fully received at a node (store-and-forward)
+//	evReady  - a frame has passed a port's technological latency and
+//	           joins the port queue
+//	evDone   - a port finished transmitting its current frame
+//
+// Ties resolve by event sequence number, which preserves FIFO order
+// among equal-priority frames.
+
+type eventKind int
+
+const (
+	evArrive eventKind = iota
+	evReady
+	evDone
+)
+
+type frame struct {
+	vl     *afdx.VirtualLink
+	emitNs int64
+	bits   int64
+	isEmit bool // true only for the initial emission occurrence
+}
+
+type event struct {
+	timeNs int64
+	seq    int64
+	kind   eventKind
+	fr     frame
+	node   string      // evArrive: node reached
+	port   afdx.PortID // evReady/evDone: port concerned
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].timeNs != h[j].timeNs {
+		return h[i].timeNs < h[j].timeNs
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// queued is one frame waiting in a port queue.
+type queued struct {
+	fr       frame
+	priority int
+	enq      int64 // FIFO order within a priority level
+	next     string
+}
+
+// portQueue orders by (priority asc, enqueue order asc).
+type portQueue []queued
+
+func (q portQueue) Len() int { return len(q) }
+func (q portQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority < q[j].priority
+	}
+	return q[i].enq < q[j].enq
+}
+func (q portQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *portQueue) Push(x any)   { *q = append(*q, x.(queued)) }
+func (q *portQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// portState is the runtime state of one output port.
+type portState struct {
+	busy    bool
+	queue   portQueue
+	serving queued
+	// maxBacklogBits tracks the largest queued volume (excluding the
+	// frame in service), for comparison against the NC backlog bound.
+	backlogBits    int64
+	maxBacklogBits int64
+}
+
+func (ps *portState) push(q queued) {
+	heap.Push(&ps.queue, q)
+	ps.backlogBits += q.fr.bits
+	if ps.backlogBits > ps.maxBacklogBits {
+		ps.maxBacklogBits = ps.backlogBits
+	}
+}
+
+func (ps *portState) pop() queued {
+	q := heap.Pop(&ps.queue).(queued)
+	ps.backlogBits -= q.fr.bits
+	return q
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+
+	"afdx/internal/afdx"
+)
+
+// CombineRedundant implements ARINC 664 redundancy management on the
+// simulation of a mirrored (dual A/B) network: the receiving end system
+// keeps the first valid copy of each frame, so the delivered delay of
+// logical frame k on a logical path is min(delay of copy A, delay of
+// copy B). FIFO networks preserve per-VL frame order, so the k-th
+// delivery on each sub-network is the k-th emission, and index-wise
+// combination is exact.
+//
+// The simulation must have been run on a configgen.Mirror'ed network
+// with Config.RecordFrames set, with identical emission offsets for the
+// two copies of each VL (pass OffsetsUs for both "<vl>A" and "<vl>B";
+// a deliberate skew between them models the per-port scheduling
+// difference of real end systems).
+func CombineRedundant(res *Result, base *afdx.Network) (map[afdx.PathID]PathStats, error) {
+	if res.FrameDelays == nil {
+		return nil, fmt.Errorf("sim: CombineRedundant needs a run with Config.RecordFrames")
+	}
+	out := map[afdx.PathID]PathStats{}
+	for _, pid := range base.AllPaths() {
+		a := res.FrameDelays[afdx.PathID{VL: pid.VL + "A", PathIdx: pid.PathIdx}]
+		b := res.FrameDelays[afdx.PathID{VL: pid.VL + "B", PathIdx: pid.PathIdx}]
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			continue
+		}
+		var st PathStats
+		for k := 0; k < n; k++ {
+			d := a[k]
+			if b[k] < d {
+				d = b[k]
+			}
+			if st.Frames == 0 || d < st.MinDelayUs {
+				st.MinDelayUs = d
+			}
+			if d > st.MaxDelayUs {
+				st.MaxDelayUs = d
+			}
+			st.SumDelayUs += d
+			st.Frames++
+		}
+		out[pid] = st
+	}
+	return out, nil
+}

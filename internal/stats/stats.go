@@ -1,0 +1,128 @@
+// Package stats provides the small set of descriptive statistics used by
+// the experiment reports: summaries and percentiles over float samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P95, P99  float64
+	StdDev         float64
+}
+
+// Summarize computes the summary of a sample. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		varSum += (x - s.Mean) * (x - s.Mean)
+	}
+	s.StdDev = math.Sqrt(varSum / float64(len(xs)))
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 50)
+	s.P95 = Percentile(sorted, 95)
+	s.P99 = Percentile(sorted, 99)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of an ascending-sorted
+// sample, with linear interpolation between ranks.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f sd=%.2f",
+		s.N, s.Mean, s.Min, s.P50, s.P95, s.Max, s.StdDev)
+}
+
+// Bucket is one histogram bin: [Lo, Hi) except the last, which is
+// closed.
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram bins a sample into n equal-width buckets spanning its range.
+// An empty sample or non-positive n yields nil; a constant sample yields
+// one bucket.
+func Histogram(xs []float64, n int) []Bucket {
+	if len(xs) == 0 || n <= 0 {
+		return nil
+	}
+	s := Summarize(xs)
+	if s.Max == s.Min {
+		return []Bucket{{Lo: s.Min, Hi: s.Max, Count: len(xs)}}
+	}
+	width := (s.Max - s.Min) / float64(n)
+	buckets := make([]Bucket, n)
+	for i := range buckets {
+		buckets[i].Lo = s.Min + float64(i)*width
+		buckets[i].Hi = s.Min + float64(i+1)*width
+	}
+	for _, x := range xs {
+		i := int((x - s.Min) / width)
+		if i >= n {
+			i = n - 1 // the maximum lands in the closed last bucket
+		}
+		buckets[i].Count++
+	}
+	return buckets
+}
+
+// RenderHistogram writes an ASCII bar chart of the buckets, scaled to
+// barWidth characters.
+func RenderHistogram(buckets []Bucket, barWidth int) string {
+	maxCount := 0
+	for _, b := range buckets {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	if maxCount == 0 {
+		return ""
+	}
+	var out string
+	for _, b := range buckets {
+		bar := ""
+		for i := 0; i < b.Count*barWidth/maxCount; i++ {
+			bar += "#"
+		}
+		out += fmt.Sprintf("%10.2f..%-10.2f %6d %s\n", b.Lo, b.Hi, b.Count, bar)
+	}
+	return out
+}

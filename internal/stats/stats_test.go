@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %g, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty sample should have N=0, got %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("P0 = %g, want 10", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Errorf("P100 = %g, want 40", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Errorf("P50 = %g, want 25 (interpolated)", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("percentile of empty = %g, want 0", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if !strings.Contains(Summarize([]float64{1}).String(), "n=1") {
+		t.Error("String should mention the count")
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64, p1, p2 float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(50))
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		s := Summarize(xs)
+		// Min <= P50 <= P95 <= P99 <= Max and Mean within [Min, Max].
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 &&
+			s.P99 <= s.Max && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}
+	b := Histogram(xs, 5)
+	if len(b) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(b))
+	}
+	total := 0
+	for _, bk := range b {
+		total += bk.Count
+	}
+	if total != len(xs) {
+		t.Errorf("counts sum to %d, want %d", total, len(xs))
+	}
+	// The max value lands in the (closed) last bucket.
+	if b[4].Count == 0 {
+		t.Error("last bucket should hold the maximum")
+	}
+	if b[0].Lo != 0 || b[4].Hi != 10 {
+		t.Errorf("range [%g, %g], want [0, 10]", b[0].Lo, b[4].Hi)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if Histogram(nil, 5) != nil {
+		t.Error("empty sample should yield nil")
+	}
+	if Histogram([]float64{1}, 0) != nil {
+		t.Error("non-positive bucket count should yield nil")
+	}
+	b := Histogram([]float64{7, 7, 7}, 4)
+	if len(b) != 1 || b[0].Count != 3 {
+		t.Errorf("constant sample should yield one bucket: %v", b)
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	b := Histogram([]float64{1, 1, 2, 3}, 2)
+	out := RenderHistogram(b, 10)
+	if !strings.Contains(out, "#") {
+		t.Errorf("expected bars in %q", out)
+	}
+	if RenderHistogram(nil, 10) != "" {
+		t.Error("empty histogram should render empty")
+	}
+}

@@ -1,0 +1,156 @@
+package trajectory
+
+import (
+	"testing"
+
+	"afdx/internal/afdx"
+	"afdx/internal/netcalc"
+	"afdx/internal/sim"
+)
+
+// slowLastHop returns Figure 2 with the S3->e6 delivery link slowed to
+// 10 Mb/s (real AFDX networks mix 10 and 100 Mb/s segments).
+func slowLastHop() *afdx.Network {
+	n := afdx.Figure2Config()
+	n.LinkRates = []afdx.LinkRate{{From: "S3", To: "e6", Mbps: 10}}
+	return n
+}
+
+func TestHeterogeneousRatePortDelays(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(slowLastHop(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pg.Ports[afdx.PortID{From: "S3", To: "e6"}].RateBitsPerUs; got != 10 {
+		t.Fatalf("slow port rate = %g, want 10", got)
+	}
+	if got := pg.Ports[afdx.PortID{From: "S1", To: "S3"}].RateBitsPerUs; got != 100 {
+		t.Fatalf("fast port rate = %g, want 100", got)
+	}
+	res, err := netcalc.Analyze(pg, netcalc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := netcalc.Analyze(fast, netcalc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := afdx.PortID{From: "S3", To: "e6"}
+	if res.Ports[slow].DelayUs <= ref.Ports[slow].DelayUs*5 {
+		t.Errorf("10x slower link should blow up the port delay: %g vs %g",
+			res.Ports[slow].DelayUs, ref.Ports[slow].DelayUs)
+	}
+	// Ports upstream of the slow link are unaffected.
+	up := afdx.PortID{From: "S1", To: "S3"}
+	if !almostEq(res.Ports[up].DelayUs, ref.Ports[up].DelayUs) {
+		t.Errorf("upstream port delay changed: %g vs %g",
+			res.Ports[up].DelayUs, ref.Ports[up].DelayUs)
+	}
+	// v5 (on a different 100 Mb/s output of S3) is unaffected.
+	v5 := afdx.PathID{VL: "v5", PathIdx: 0}
+	if !almostEq(res.PathDelays[v5], ref.PathDelays[v5]) {
+		t.Errorf("v5 bound changed: %g vs %g", res.PathDelays[v5], ref.PathDelays[v5])
+	}
+}
+
+func TestHeterogeneousRateUtilization(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(slowLastHop(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := pg.UtilizationReport()
+	// 4 VLs of 1 bit/us on a 10 bits/us link: 40%.
+	if got := u[afdx.PortID{From: "S3", To: "e6"}]; !almostEq(got, 0.4) {
+		t.Errorf("slow port utilization = %g, want 0.4", got)
+	}
+}
+
+func TestHeterogeneousRateSimWithinBounds(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(slowLastHop(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := netcalc.Analyze(pg, netcalc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trU, err := Analyze(pg, Options{Grouping: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		cfg := sim.DefaultConfig(seed)
+		cfg.DurationUs = 64_000
+		res, err := sim.Run(pg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid, st := range res.Paths {
+			if st.MaxDelayUs > nc.PathDelays[pid]+1e-6 {
+				t.Errorf("seed %d path %v: simulated %g above NC %g",
+					seed, pid, st.MaxDelayUs, nc.PathDelays[pid])
+			}
+			if st.MaxDelayUs > trU.PathDelays[pid]+1e-6 {
+				t.Errorf("seed %d path %v: simulated %g above ungrouped trajectory %g",
+					seed, pid, st.MaxDelayUs, trU.PathDelays[pid])
+			}
+		}
+	}
+	// Adversarial burst.
+	cfg := sim.Config{
+		DurationUs: 8000,
+		OffsetsUs:  map[string]float64{"v1": 0, "v2": 0, "v3": 0, "v4": 0, "v5": 0},
+	}
+	res, err := sim.Run(pg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, st := range res.Paths {
+		if st.MaxDelayUs > trU.PathDelays[pid]+1e-6 {
+			t.Errorf("burst path %v: simulated %g above ungrouped trajectory %g",
+				pid, st.MaxDelayUs, trU.PathDelays[pid])
+		}
+	}
+}
+
+func TestHeterogeneousRateTrajectoryConsistency(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(slowLastHop(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := Analyze(pg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ungrouped, err := Analyze(pg, Options{Grouping: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, d := range grouped.PathDelays {
+		if d > ungrouped.PathDelays[pid]+1e-9 {
+			t.Errorf("path %v: grouped %g above ungrouped %g", pid, d, ungrouped.PathDelays[pid])
+		}
+	}
+	// The slow delivery link inflates v1's bound well beyond the uniform
+	// 248 us value (C at 10 Mb/s is 400 us per frame).
+	v1 := afdx.PathID{VL: "v1", PathIdx: 0}
+	if grouped.PathDelays[v1] < 1000 {
+		t.Errorf("v1 bound %g suspiciously low for a 10 Mb/s delivery link", grouped.PathDelays[v1])
+	}
+}
+
+func TestLinkRateValidation(t *testing.T) {
+	n := afdx.Figure2Config()
+	n.LinkRates = []afdx.LinkRate{{From: "S3", To: "e6", Mbps: -5}}
+	if err := n.Validate(afdx.Strict); err == nil {
+		t.Error("negative link rate should be rejected")
+	}
+	n.LinkRates = []afdx.LinkRate{{From: "ghost", To: "e6", Mbps: 10}}
+	if err := n.Validate(afdx.Strict); err == nil {
+		t.Error("unknown node in link rate should be rejected")
+	}
+}

@@ -1,0 +1,534 @@
+// Package trajectory implements the Trajectory approach to worst-case
+// end-to-end delay analysis of AFDX Virtual Links, following the FIFO
+// response-time analysis of Martin & Minet (IPDPS 2006) as applied to
+// AFDX by Bauer, Scharbarg & Fraboul (ETFA 2009) and compared against
+// Network Calculus in the reproduced DATE 2010 paper.
+//
+// For a frame of VL i emitted at relative time t within the busy period
+// of its source output port, the end-to-end response time is bounded by
+//
+//	R_i(t) = sum_{j sharing a port with i} N_j(t + A_ij) * C_j   (interference)
+//	       + sum_{h in path, h != first}  max_{j in h} C_j       (transition term)
+//	       + sum_{h in path} L_h                                 (latencies)
+//	       - t
+//
+// where C_j is the transmission time of a maximum-size frame of j,
+// N_j(x) = 1 + floor(max(0,x) / BAG_j) counts j-frames in a window of
+// length x, and A_ij = Smax_j(f_ij) - Smin_i(f_ij) aligns the window at
+// the first port f_ij where j meets i. The bound is the maximum of
+// R_i(t) over the (finitely many) step points of the busy period.
+//
+// The transition term is the paper's "packet counted twice": the last
+// packet of the busy period at a node is the first packet of the busy
+// period at the next node, and its size is only known to be bounded by
+// the largest frame crossing that node — the pessimism source analysed
+// in the paper's section III-B.
+//
+// The grouping (serialization) refinement caps the first-frame burst of
+// the flows that first meet i at the same port through the same input
+// link: those frames arrive serialized on that link, so they cannot all
+// be queued simultaneously; their joint contribution is bounded by the
+// largest member frame plus the link throughput over the busy window —
+// the leaky-bucket shaping quoted in the paper.
+package trajectory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"afdx/internal/afdx"
+	"afdx/internal/netcalc"
+)
+
+// PrefixMode selects how the latest arrival time Smax_j at a meeting port
+// is bounded.
+type PrefixMode int
+
+const (
+	// PrefixNC bounds Smax_j with the grouped Network Calculus prefix
+	// delay of flow j up to the meeting port (safe and fast; default).
+	PrefixNC PrefixMode = iota
+	// PrefixTrajectory bounds Smax_j recursively with the Trajectory
+	// approach applied to j's prefix sub-path (the refinement used by
+	// the paper's tool; slower, usually tighter).
+	PrefixTrajectory
+)
+
+// Options selects analysis variants.
+type Options struct {
+	// Grouping enables the serialization refinement (paper Fig. 4).
+	Grouping bool
+	// DeltaAtFirstNode switches the transition ("counted twice") term
+	// from the receiving-node convention (default, matches the paper's
+	// description "the biggest packet of a VL meeting v1 in that node")
+	// to attributing it to the departing node. Ablation knob.
+	DeltaAtFirstNode bool
+	// SharedTransition restricts each transition term to the flows that
+	// cross BOTH ports of the transition: the busy-period-bridging
+	// packet leaves the previous port and is queued at the next one, so
+	// only such flows can supply it. This is the refinement the paper's
+	// conclusion announces as future work ("adapt the trajectory
+	// approach ... where the bounds are worse than network calculus");
+	// it directly shrinks the small-frame pessimism of Figure 7.
+	SharedTransition bool
+	// PrefixMode selects the Smax bound (see PrefixMode).
+	PrefixMode PrefixMode
+}
+
+// DefaultOptions matches the paper's "Trajectory approach" column:
+// grouping on, receiving-node transition term, NC-bounded prefixes.
+func DefaultOptions() Options { return Options{Grouping: true} }
+
+// PathDetail exposes the internals of one path analysis, for reports and
+// for tests of the busy-period machinery.
+type PathDetail struct {
+	DelayUs        float64
+	BusyPeriodUs   float64 // length bound of the source-port busy period
+	CriticalT      float64 // emission offset t attaining the maximum
+	NumCandidates  int     // evaluated step points
+	NumInterferers int     // flows sharing at least one port (incl. self)
+}
+
+// Result is the outcome of a Trajectory analysis of a full configuration.
+type Result struct {
+	Opts       Options
+	PathDelays map[afdx.PathID]float64
+	Details    map[afdx.PathID]PathDetail
+}
+
+// PathDelay returns the end-to-end bound of one path.
+func (r *Result) PathDelay(id afdx.PathID) (float64, error) {
+	d, ok := r.PathDelays[id]
+	if !ok {
+		return 0, fmt.Errorf("trajectory: unknown path %v", id)
+	}
+	return d, nil
+}
+
+// analyzer carries the shared state of one Analyze run.
+type analyzer struct {
+	pg   *afdx.PortGraph
+	opts Options
+	// ncPrefix holds the NC prefix delays when PrefixMode == PrefixNC.
+	ncPrefix map[netcalc.FlowPortKey]float64
+	// trajPrefix memoizes recursive prefix response times: latest
+	// departure of a VL from a given port (PrefixTrajectory mode).
+	trajPrefix map[netcalc.FlowPortKey]float64
+	inProgress map[netcalc.FlowPortKey]bool
+}
+
+// newAnalyzer validates the configuration for trajectory analysis and
+// prepares the shared state (prefix bounds).
+func newAnalyzer(pg *afdx.PortGraph, opts Options) (*analyzer, error) {
+	a := &analyzer{
+		pg:         pg,
+		opts:       opts,
+		trajPrefix: map[netcalc.FlowPortKey]float64{},
+		inProgress: map[netcalc.FlowPortKey]bool{},
+	}
+	for id, u := range pg.UtilizationReport() {
+		if u > 1+1e-9 {
+			return nil, fmt.Errorf("trajectory: port %s unstable (utilization %.3f)", id, u)
+		}
+	}
+	// The Trajectory approach, as published for AFDX, analyses FIFO
+	// output ports; mixed static-priority configurations are analysable
+	// with the Network Calculus engine only.
+	if len(pg.Net.VLs) == 0 {
+		return nil, fmt.Errorf("trajectory: no virtual links")
+	}
+	prio := pg.Net.VLs[0].Priority
+	for _, vl := range pg.Net.VLs {
+		if vl.Priority != prio {
+			return nil, fmt.Errorf("trajectory: VL %s has priority %d but VL %s has %d; the trajectory analysis supports FIFO (uniform priority) only — use netcalc for static-priority configurations",
+				vl.ID, vl.Priority, pg.Net.VLs[0].ID, prio)
+		}
+	}
+	if opts.PrefixMode == PrefixNC {
+		nc, err := netcalc.Analyze(pg, netcalc.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: computing NC prefix bounds: %w", err)
+		}
+		a.ncPrefix = nc.PrefixDelays
+	}
+	return a, nil
+}
+
+// Analyze runs the Trajectory analysis over a feed-forward port graph.
+func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
+	a, err := newAnalyzer(pg, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Opts:       opts,
+		PathDelays: map[afdx.PathID]float64{},
+		Details:    map[afdx.PathID]PathDetail{},
+	}
+	for _, pid := range pg.Net.AllPaths() {
+		det, err := a.analyzePath(pid)
+		if err != nil {
+			return nil, err
+		}
+		res.PathDelays[pid] = det.DelayUs
+		res.Details[pid] = det
+	}
+	return res, nil
+}
+
+// interferer is one flow of the interference set of a path.
+type interferer struct {
+	vl    *afdx.VirtualLink
+	first afdx.PortID // first port shared with the analyzed path
+	prev  string      // input node of the flow at that port ("" = source)
+	cUs   float64     // max transmission time over the shared ports
+	aUs   float64     // window alignment A_ij
+	// serRatio is input-link rate / first-port rate: the serialization
+	// cap of a group grows with the emission window scaled by it.
+	serRatio float64
+}
+
+// analyzePath bounds the end-to-end delay of one (VL, destination) path.
+func (a *analyzer) analyzePath(pid afdx.PathID) (PathDetail, error) {
+	ports := a.pg.PathPorts(pid)
+	vl := a.pg.Net.VL(pid.VL)
+	if len(ports) == 0 || vl == nil {
+		return PathDetail{}, fmt.Errorf("trajectory: unknown path %v", pid)
+	}
+	return a.analyzePortSeq(vl, ports)
+}
+
+// analyzePortSeq bounds the latest complete transmission of a frame of vl
+// over the given (prefix of its) port sequence, relative to its emission.
+func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID) (PathDetail, error) {
+	inter, err := a.interferenceSet(vl, ports)
+	if err != nil {
+		return PathDetail{}, err
+	}
+
+	// Constant terms: technological latencies and the transition
+	// ("counted twice") packets.
+	lSum := 0.0
+	for _, h := range ports {
+		lSum += a.pg.Ports[h].LatencyUs
+	}
+	deltaSum := 0.0
+	if a.opts.SharedTransition {
+		// The bridging packet of transition h_k -> h_{k+1} crosses both
+		// ports; bound it by the largest frame of the flows doing so.
+		for k := 0; k+1 < len(ports); k++ {
+			deltaSum += a.maxSharedFrameTime(ports[k], ports[k+1])
+		}
+	} else {
+		from, to := 1, len(ports) // receiving-node convention: h_2 .. h_q
+		if a.opts.DeltaAtFirstNode {
+			from, to = 0, len(ports)-1 // departing-node convention: h_1 .. h_{q-1}
+		}
+		for k := from; k < to; k++ {
+			deltaSum += a.maxFrameTimeAt(ports[k])
+		}
+	}
+
+	busy, err := a.sourceBusyPeriod(vl, ports[0], inter)
+	if err != nil {
+		return PathDetail{}, err
+	}
+
+	cands := candidateOffsets(inter, busy)
+	best, bestT := math.Inf(-1), 0.0
+	for _, t := range cands {
+		v := a.interferenceAt(inter, t) + deltaSum + lSum - t
+		if v > best {
+			best, bestT = v, t
+		}
+	}
+	return PathDetail{
+		DelayUs:        best,
+		BusyPeriodUs:   busy,
+		CriticalT:      bestT,
+		NumCandidates:  len(cands),
+		NumInterferers: len(inter),
+	}, nil
+}
+
+// interferenceSet builds the interferer list of a path: every VL sharing
+// at least one of its ports (including the analyzed VL itself), with the
+// first shared port, the input link there, and the window alignment A_ij.
+func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID) ([]interferer, error) {
+	// Minimum arrival times of the analyzed flow at each of its ports
+	// (per-port rates: real configurations mix link speeds).
+	sMin := make(map[afdx.PortID]float64, len(ports))
+	acc := 0.0
+	for _, h := range ports {
+		sMin[h] = acc
+		acc += vl.CMinUs(a.pg.Ports[h].RateBitsPerUs) + a.pg.Ports[h].LatencyUs
+	}
+	var inter []interferer
+	idx := map[string]int{}
+	for _, h := range ports {
+		port := a.pg.Ports[h]
+		for _, f := range port.Flows {
+			c := f.VL.CMaxUs(port.RateBitsPerUs)
+			if i, ok := idx[f.VL.ID]; ok {
+				// Conservative with heterogeneous rates: charge the
+				// flow's largest transmission time over the shared ports.
+				if c > inter[i].cUs {
+					inter[i].cUs = c
+				}
+				continue
+			}
+			sMaxJ, err := a.sMax(f.VL, h)
+			if err != nil {
+				return nil, err
+			}
+			ratio := 1.0
+			if f.Prev != "" {
+				if in := a.pg.Ports[afdx.PortID{From: f.Prev, To: h.From}]; in != nil {
+					ratio = in.RateBitsPerUs / port.RateBitsPerUs
+				}
+			}
+			idx[f.VL.ID] = len(inter)
+			inter = append(inter, interferer{
+				vl:       f.VL,
+				first:    h,
+				prev:     f.Prev,
+				cUs:      c,
+				aUs:      sMaxJ - sMin[h],
+				serRatio: ratio,
+			})
+		}
+	}
+	sort.Slice(inter, func(i, j int) bool { return inter[i].vl.ID < inter[j].vl.ID })
+	return inter, nil
+}
+
+// sMax bounds the latest arrival time of a frame of vl at the given port,
+// relative to its emission (0 at the flow's source port).
+func (a *analyzer) sMax(vl *afdx.VirtualLink, port afdx.PortID) (float64, error) {
+	key := netcalc.FlowPortKey{VL: vl.ID, Port: port}
+	if a.opts.PrefixMode == PrefixNC {
+		d, ok := a.ncPrefix[key]
+		if !ok {
+			return 0, fmt.Errorf("trajectory: no NC prefix bound for VL %s at %s", vl.ID, port)
+		}
+		return d, nil
+	}
+	if d, ok := a.trajPrefix[key]; ok {
+		return d, nil
+	}
+	if a.inProgress[key] {
+		return 0, fmt.Errorf("trajectory: cyclic prefix dependency at VL %s port %s", vl.ID, port)
+	}
+	prefix := a.prefixPorts(vl, port)
+	if len(prefix) == 0 {
+		a.trajPrefix[key] = 0
+		return 0, nil
+	}
+	a.inProgress[key] = true
+	det, err := a.analyzePortSeq(vl, prefix)
+	delete(a.inProgress, key)
+	if err != nil {
+		return 0, err
+	}
+	a.trajPrefix[key] = det.DelayUs
+	return det.DelayUs, nil
+}
+
+// prefixPorts returns the ports a VL crosses strictly before the given
+// port (on whichever of its paths contains that port; tree routing makes
+// the prefix unique).
+func (a *analyzer) prefixPorts(vl *afdx.VirtualLink, port afdx.PortID) []afdx.PortID {
+	for pi := range vl.Paths {
+		seq := a.pg.PathPorts(afdx.PathID{VL: vl.ID, PathIdx: pi})
+		for k, h := range seq {
+			if h == port {
+				return seq[:k]
+			}
+		}
+	}
+	return nil
+}
+
+// maxFrameTimeAt returns max_j C_j over the flows crossing a port.
+func (a *analyzer) maxFrameTimeAt(id afdx.PortID) float64 {
+	p := a.pg.Ports[id]
+	m := 0.0
+	for _, f := range p.Flows {
+		if c := f.VL.CMaxUs(p.RateBitsPerUs); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// maxSharedFrameTime returns max_j C_j over the flows crossing both
+// ports (the bridging-packet candidates of the SharedTransition option).
+// The analyzed flow itself always crosses both, so the set is never
+// empty on its own path.
+func (a *analyzer) maxSharedFrameTime(prev, next afdx.PortID) float64 {
+	p, q := a.pg.Ports[prev], a.pg.Ports[next]
+	m := 0.0
+	for _, f := range p.Flows {
+		if q.FlowByVL(f.VL.ID) == nil {
+			continue
+		}
+		if c := f.VL.CMaxUs(p.RateBitsPerUs); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// sourceBusyPeriod bounds the length of the busy period of the analyzed
+// flow's source port (the range of the emission offset t) as the least
+// fixpoint of the port's workload function.
+func (a *analyzer) sourceBusyPeriod(vl *afdx.VirtualLink, src afdx.PortID, inter []interferer) (float64, error) {
+	port := a.pg.Ports[src]
+	work := func(b float64) float64 {
+		w := 0.0
+		for _, f := range port.Flows {
+			w += float64(frameCount(b, f.VL.BAGUs())) * f.VL.CMaxUs(port.RateBitsPerUs)
+		}
+		return w
+	}
+	b := work(0)
+	for iter := 0; iter < 1_000_000; iter++ {
+		nb := work(b)
+		if nb <= b+1e-9 {
+			return nb, nil
+		}
+		b = nb
+	}
+	return 0, fmt.Errorf("trajectory: busy period of port %s does not converge (utilization too close to 1)", src)
+}
+
+// frameCount is N(x) = 1 + floor(max(0,x) / T): the maximum number of
+// frames of a BAG-T flow with arrivals inside a window of length x
+// (window endpoints included, hence the floor at exact multiples counts
+// the edge frame). The count never drops below one: the flows are
+// asynchronous, so whatever the jitter alignment A_ij, one frame of an
+// interferer can always be queued just ahead of the analyzed frame at
+// the meeting port.
+func frameCount(x, t float64) int {
+	if x < 0 {
+		x = 0
+	}
+	return 1 + int(math.Floor((x+1e-9)/t))
+}
+
+// candidateOffsets enumerates the emission offsets where the objective
+// can attain its maximum: t = 0 and every step point k*T_j - A_ij of an
+// interferer inside the busy period.
+func candidateOffsets(inter []interferer, busy float64) []float64 {
+	cands := []float64{0}
+	for _, it := range inter {
+		T := it.vl.BAGUs()
+		start := math.Ceil((0-it.aUs)/T - 1e-9)
+		if start < 1 {
+			start = 1
+		}
+		for k := start; ; k++ {
+			t := k*T - it.aUs
+			if t > busy+1e-9 {
+				break
+			}
+			if t > 1e-9 {
+				cands = append(cands, t)
+			}
+		}
+	}
+	sort.Float64s(cands)
+	// Deduplicate within tolerance.
+	out := cands[:0]
+	for _, t := range cands {
+		if len(out) == 0 || t > out[len(out)-1]+1e-9 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// interferenceAt evaluates the interference term at offset t, applying
+// the serialization cap per (first port, input link) group when grouping
+// is enabled.
+func (a *analyzer) interferenceAt(inter []interferer, t float64) float64 {
+	if !a.opts.Grouping {
+		sum := 0.0
+		for _, it := range inter {
+			sum += float64(frameCount(t+it.aUs, it.vl.BAGUs())) * it.cUs
+		}
+		return sum
+	}
+	type groupKey struct {
+		port afdx.PortID
+		prev string
+	}
+	groups := map[groupKey][]interferer{}
+	for _, it := range inter {
+		groups[groupKey{it.first, it.prev}] = append(groups[groupKey{it.first, it.prev}], it)
+	}
+	// Deterministic iteration order for float accumulation stability.
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].port != keys[j].port {
+			return keys[i].port.String() < keys[j].port.String()
+		}
+		return keys[i].prev < keys[j].prev
+	})
+	sum := 0.0
+	for _, k := range keys {
+		sum += a.groupContribution(groups[k], t, k.prev != "" || len(groups[k]) > 1)
+	}
+	return sum
+}
+
+// groupContribution bounds the workload of one serialization group at
+// offset t. The first frame of each counted member arrives through the
+// shared input link, so the group's first frames arrive back-to-back at
+// best and their joint burst cannot exceed the largest member frame plus
+// what the link carries during the emission offset window; subsequent
+// frames (N_j > 1) are counted in full.
+//
+// This is the leaky-bucket shaping of the paper's grouping technique
+// (burst = largest frame of the group, rate = source link rate), exactly
+// as the paper's Figure 4 scenario constructs it. Note that, like the
+// published method, the cap ignores the upstream jitter spread between
+// group members — a simplification later shown to make the enhanced
+// trajectory approach slightly optimistic in corner cases (see
+// DESIGN.md, "Known optimism of the grouped trajectory approach").
+func (a *analyzer) groupContribution(group []interferer, t float64, serialized bool) float64 {
+	full := 0.0
+	firsts := 0.0
+	maxC := 0.0
+	ratio := 1.0
+	for _, it := range group {
+		n := frameCount(t+it.aUs, it.vl.BAGUs())
+		if n == 0 {
+			continue
+		}
+		full += float64(n-1) * it.cUs
+		firsts += it.cUs
+		if it.cUs > maxC {
+			maxC = it.cUs
+		}
+		ratio = it.serRatio // identical across the group (same input link)
+	}
+	if firsts == 0 {
+		return 0
+	}
+	if !serialized {
+		return full + firsts
+	}
+	// The group's first frames arrive serialized on the input link: one
+	// largest frame plus what the link carries over the offset window,
+	// expressed in output transmission time (ratio = R_in / R_out).
+	capTime := maxC + t*ratio
+	if capTime < firsts {
+		firsts = capTime
+	}
+	return full + firsts
+}
