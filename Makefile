@@ -1,0 +1,21 @@
+# Developer entry points. `make check` is the expanded verification
+# gate (build, gofmt, vet, tests, race detector); see check.sh.
+
+.PHONY: build test check lint fmt
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	./check.sh
+
+# Lint the bundled sample configuration end to end (smoke test of the
+# afdx-lint CLI; expects a clean exit).
+lint:
+	go run ./cmd/afdx-lint -rules
+
+fmt:
+	gofmt -w .

@@ -29,10 +29,14 @@
 package afdx
 
 import (
+	"io"
+
 	iafdx "afdx/internal/afdx"
 	"afdx/internal/configgen"
 	"afdx/internal/core"
+	"afdx/internal/diag"
 	"afdx/internal/exact"
+	"afdx/internal/lint"
 	"afdx/internal/netcalc"
 	"afdx/internal/sim"
 	"afdx/internal/trajectory"
@@ -85,12 +89,52 @@ func LoadJSON(path string, mode ValidationMode) (*Network, error) {
 	return iafdx.LoadJSON(path, mode)
 }
 
+// DecodeJSON parses a configuration without validating it (the linter's
+// entry point: it reports every violation itself).
+func DecodeJSON(r io.Reader) (*Network, error) { return iafdx.DecodeJSON(r) }
+
 // Figure1Config returns a reconstruction of the paper's illustrative
 // Figure 1 configuration.
 func Figure1Config() *Network { return iafdx.Figure1Config() }
 
 // Figure2Config returns the paper's Figure 2 sample configuration.
 func Figure2Config() *Network { return iafdx.Figure2Config() }
+
+// Static analysis (linting) of configurations.
+type (
+	// Diagnostic is one coded, located, graded lint finding.
+	Diagnostic = diag.Diagnostic
+	// DiagnosticCode is a stable AFDX### diagnostic identifier.
+	DiagnosticCode = diag.Code
+	// Severity grades a diagnostic (Info, Warning, Error).
+	Severity = diag.Severity
+	// LintAnalyzer is one registered static check.
+	LintAnalyzer = lint.Analyzer
+	// LintOptions configures a lint run.
+	LintOptions = lint.Options
+	// LintReport is the outcome of linting one configuration, with
+	// text, JSON, and SARIF renderers and the 0/1/2 exit-code mapping.
+	LintReport = lint.Report
+)
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = diag.Info
+	SeverityWarning = diag.Warning
+	SeverityError   = diag.Error
+)
+
+// DefaultLintOptions lints with the strict ARINC 664 contract and a 95%
+// utilization headroom warning threshold.
+func DefaultLintOptions() LintOptions { return lint.DefaultOptions() }
+
+// Lint runs every registered static analyzer over a configuration and
+// returns the assembled report. It never fails: a broken configuration
+// yields Error diagnostics, not an error.
+func Lint(net *Network, opts LintOptions) *LintReport { return lint.Run(net, opts) }
+
+// LintAnalyzers returns the registered analyzers sorted by code.
+func LintAnalyzers() []*LintAnalyzer { return lint.Analyzers() }
 
 // Network Calculus analysis.
 type (

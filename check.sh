@@ -1,0 +1,35 @@
+#!/bin/sh
+# check.sh — the repository's expanded verification gate.
+#
+# Runs, in order:
+#   1. go build ./...        (tier-1: everything compiles)
+#   2. gofmt -l .            (formatting; any listed file fails the gate)
+#   3. go vet ./...          (static analysis of the Go code itself)
+#   4. go test ./...         (tier-1: the full test suite)
+#   5. go test -race ./...   (the suite again under the race detector)
+#
+# Usage: ./check.sh        (or: make check)
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files are not formatted:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"

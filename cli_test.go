@@ -19,7 +19,7 @@ var (
 	cliOnce  sync.Once
 	cliDir   string
 	cliErr   error
-	cliTools = []string{"afdx-gen", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact"}
+	cliTools = []string{"afdx-gen", "afdx-lint", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact"}
 )
 
 // buildCLIs compiles every command once per test binary invocation.
@@ -142,12 +142,63 @@ func TestCLIExact(t *testing.T) {
 	}
 }
 
+func TestCLILint(t *testing.T) {
+	dir := buildCLIs(t)
+	cfg := sampleConfig(t)
+	out := runCLI(t, dir, "afdx-lint", "-config", cfg)
+	if !strings.Contains(out, "0 error(s), 0 warning(s)") {
+		t.Errorf("Figure 2 should lint clean:\n%s", out)
+	}
+	rules := runCLI(t, dir, "afdx-lint", "-rules")
+	for _, code := range []string{"AFDX001", "AFDX007", "AFDX012"} {
+		if !strings.Contains(rules, code) {
+			t.Errorf("rule listing missing %q:\n%s", code, rules)
+		}
+	}
+	sarif := runCLI(t, dir, "afdx-lint", "-format", "sarif", cfg)
+	if !strings.Contains(sarif, `"version": "2.1.0"`) {
+		t.Errorf("SARIF output missing version:\n%.400s", sarif)
+	}
+}
+
+// TestCLILintExitCodes drives the documented severity contract: 2 for
+// errors (and undecodable files), 1 for warnings, and the afdx-bounds
+// pre-flight's exit 3 on infeasible configurations.
+func TestCLILintExitCodes(t *testing.T) {
+	dir := buildCLIs(t)
+	broken := filepath.Join(t.TempDir(), "broken.json")
+	if err := os.WriteFile(broken, []byte(`{"name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(dir, "afdx-lint"), broken)
+	out, err := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); err == nil || code != 2 {
+		t.Errorf("lint of an error-ridden config: exit %d, want 2\n%s", code, out)
+	}
+	unstable := "internal/lint/testdata/unstable_port.json"
+	cmd = exec.Command(filepath.Join(dir, "afdx-bounds"), "-config", unstable)
+	out, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 3 {
+		t.Errorf("bounds on an unstable config: exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "AFDX001") {
+		t.Errorf("pre-flight report missing AFDX001:\n%s", out)
+	}
+	cmd = exec.Command(filepath.Join(dir, "afdx-bounds"), "-config", unstable, "-no-lint")
+	out, _ = cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Errorf("bounds -no-lint on an unstable config: exit %d (engine failure), want 1\n%s", code, out)
+	}
+}
+
 func TestCLIErrorPaths(t *testing.T) {
 	dir := buildCLIs(t)
-	// Missing -config must exit non-zero.
+	// Missing -config must exit non-zero — with the documented usage code.
 	cmd := exec.Command(filepath.Join(dir, "afdx-bounds"))
 	if err := cmd.Run(); err == nil {
 		t.Error("afdx-bounds without -config should fail")
+	} else if code := cmd.ProcessState.ExitCode(); code != 2 {
+		t.Errorf("afdx-bounds without -config: exit %d, want 2", code)
 	}
 	cmd = exec.Command(filepath.Join(dir, "afdx-experiments"), "-exp", "nope")
 	if err := cmd.Run(); err == nil {

@@ -9,6 +9,17 @@
 //	afdx-bounds -config net.json -method nc      # Network Calculus only
 //	afdx-bounds -config net.json -no-grouping    # disable serialization
 //	afdx-bounds -config net.json -csv > out.csv  # machine-readable
+//
+// Before any analysis the configuration is linted (cmd/afdx-lint's
+// analyzers); lint errors abort the run before the engines start.
+// -no-lint skips the gate for debugging.
+//
+// Exit codes, for scripted callers:
+//
+//	0  success
+//	1  analysis failure (an engine rejected the configuration)
+//	2  usage error or unreadable/invalid configuration file
+//	3  infeasible configuration caught by the lint pre-flight
 package main
 
 import (
@@ -23,6 +34,20 @@ import (
 	"afdx/internal/report"
 )
 
+// Exit codes of the documented contract.
+const (
+	exitOK       = 0
+	exitAnalysis = 1
+	exitUsage    = 2
+	exitLint     = 3
+)
+
+// fail prints the error and exits with the given contract code.
+func fail(code int, err error) {
+	log.Print(err)
+	os.Exit(code)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("afdx-bounds: ")
@@ -31,6 +56,7 @@ func main() {
 		method     = flag.String("method", "both", "nc | trajectory | both")
 		noGrouping = flag.Bool("no-grouping", false, "disable the grouping (serialization) technique")
 		relaxed    = flag.Bool("relaxed", false, "relax ARINC 664 contract validation")
+		noLint     = flag.Bool("no-lint", false, "skip the lint pre-flight gate")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
 		backlog    = flag.Bool("backlog", false, "also print per-port backlog bounds (NC)")
 		jitter     = flag.Bool("jitter", false, "also print per-path jitter (bound minus idle-network floor)")
@@ -40,7 +66,7 @@ func main() {
 	flag.Parse()
 	if *config == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	mode := afdx.Strict
 	if *relaxed {
@@ -48,11 +74,14 @@ func main() {
 	}
 	net, err := afdx.LoadJSON(*config, mode)
 	if err != nil {
-		log.Fatal(err)
+		fail(exitUsage, err)
+	}
+	if !*noLint {
+		preflight(net, mode)
 	}
 	pg, err := afdx.BuildPortGraph(net, mode)
 	if err != nil {
-		log.Fatal(err)
+		fail(exitUsage, err)
 	}
 
 	ncOpts := afdx.DefaultNCOptions()
@@ -67,19 +96,20 @@ func main() {
 	if *method == "nc" || *method == "both" {
 		ncRes, err = afdx.AnalyzeNC(pg, ncOpts)
 		if err != nil {
-			log.Fatal(err)
+			fail(exitAnalysis, err)
 		}
 		ncDelays = ncRes.PathDelays
 	}
 	if *method == "trajectory" || *method == "both" {
 		tr, err := afdx.AnalyzeTrajectory(pg, trOpts)
 		if err != nil {
-			log.Fatal(err)
+			fail(exitAnalysis, err)
 		}
 		trDelays = tr.PathDelays
 	}
 	if ncDelays == nil && trDelays == nil {
-		log.Fatalf("unknown method %q (want nc, trajectory or both)", *method)
+		log.Printf("unknown method %q (want nc, trajectory or both)", *method)
+		os.Exit(exitUsage)
 	}
 
 	paths := net.AllPaths()
@@ -125,7 +155,7 @@ func main() {
 		if *jitter {
 			floor, err := pg.MinPathDelayUs(pid)
 			if err != nil {
-				log.Fatal(err)
+				fail(exitAnalysis, err)
 			}
 			row = append(row, report.Us(best-floor))
 		}
@@ -136,14 +166,15 @@ func main() {
 		emit = report.CSV
 	}
 	if err := emit(os.Stdout, headers, rows); err != nil {
-		log.Fatal(err)
+		fail(exitAnalysis, err)
 	}
 
 	if *explain != "" {
 		var vl string
 		var idx int
 		if n, err := fmt.Sscanf(*explain, "%s", &vl); n != 1 || err != nil {
-			log.Fatalf("bad -explain value %q (want vl/pathIdx)", *explain)
+			log.Printf("bad -explain value %q (want vl/pathIdx)", *explain)
+			os.Exit(exitUsage)
 		}
 		if i := strings.LastIndex(*explain, "/"); i > 0 {
 			vl = (*explain)[:i]
@@ -155,16 +186,16 @@ func main() {
 		fmt.Println()
 		if ncEx, err := afdx.ExplainNC(pg, pid, ncOpts); err == nil {
 			if err := ncEx.Render(os.Stdout); err != nil {
-				log.Fatal(err)
+				fail(exitAnalysis, err)
 			}
 			fmt.Println()
 		}
 		ex, err := afdx.ExplainTrajectory(pg, pid, trOpts)
 		if err != nil {
-			log.Fatal(err)
+			fail(exitAnalysis, err)
 		}
 		if err := ex.Render(os.Stdout); err != nil {
-			log.Fatal(err)
+			fail(exitAnalysis, err)
 		}
 	}
 
@@ -180,7 +211,7 @@ func main() {
 			jrows = append(jrows, []string{r.EndSystem, report.Int(r.NumVLs), report.Us(r.JitterUs), status})
 		}
 		if err := emit(os.Stdout, []string{"end system", "VLs", "jitter (us)", "status"}, jrows); err != nil {
-			log.Fatal(err)
+			fail(exitAnalysis, err)
 		}
 	}
 
@@ -204,7 +235,25 @@ func main() {
 			})
 		}
 		if err := emit(os.Stdout, []string{"port", "backlog (bits)", "backlog (bytes)", "utilization", "delay (us)"}, brows); err != nil {
-			log.Fatal(err)
+			fail(exitAnalysis, err)
 		}
+	}
+}
+
+// preflight lints the configuration and aborts with exitLint when the
+// linter finds errors. Warnings go to stderr and do not block the run.
+func preflight(net *afdx.Network, mode afdx.ValidationMode) {
+	opts := afdx.DefaultLintOptions()
+	opts.Mode = mode
+	rep := afdx.Lint(net, opts)
+	for _, d := range rep.Diagnostics {
+		if d.Severity == afdx.SeverityWarning {
+			fmt.Fprintf(os.Stderr, "afdx-bounds: lint: %s\n", d)
+		}
+	}
+	if rep.HasErrors() {
+		fmt.Fprintln(os.Stderr, "afdx-bounds: infeasible configuration (use -no-lint to bypass):")
+		rep.WriteText(os.Stderr)
+		os.Exit(exitLint)
 	}
 }

@@ -7,6 +7,11 @@
 //	afdx-experiments -exp table1    # one experiment
 //	afdx-experiments -list          # list experiment IDs
 //	afdx-experiments -seed 7        # different synthetic configuration
+//
+// Both configurations the experiments analyse (the paper's Figure 2
+// sample and the seeded synthetic industrial network) are linted before
+// anything runs; lint errors abort with exit code 3 (bypass with
+// -no-lint), warnings go to stderr.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"log"
 	"os"
 
+	"afdx"
 	"afdx/internal/experiments"
 )
 
@@ -22,9 +28,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("afdx-experiments: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
-		seed = flag.Int64("seed", 1, "seed of the synthetic industrial configuration")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
+		exp    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		seed   = flag.Int64("seed", 1, "seed of the synthetic industrial configuration")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		noLint = flag.Bool("no-lint", false, "skip the lint pre-flight gate")
 	)
 	flag.Parse()
 
@@ -33,6 +40,9 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+	if !*noLint {
+		preflight(*seed)
 	}
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s: %s ===\n\n", e.ID, e.Title)
@@ -52,4 +62,27 @@ func main() {
 		log.Fatalf("unknown experiment %q (use -list)", *exp)
 	}
 	run(e)
+}
+
+// preflight lints the two configurations the experiments analyse.
+// Errors abort (exit 3); warnings go to stderr so the reproduced
+// tables on stdout stay byte-comparable.
+func preflight(seed int64) {
+	industrial, err := afdx.Generate(afdx.DefaultGeneratorSpec(seed))
+	if err != nil {
+		log.Fatalf("generating the industrial configuration: %v", err)
+	}
+	for _, net := range []*afdx.Network{afdx.Figure2Config(), industrial} {
+		rep := afdx.Lint(net, afdx.DefaultLintOptions())
+		for _, d := range rep.Diagnostics {
+			if d.Severity == afdx.SeverityWarning {
+				fmt.Fprintf(os.Stderr, "afdx-experiments: lint: [%s] %s\n", net.Name, d)
+			}
+		}
+		if rep.HasErrors() {
+			fmt.Fprintf(os.Stderr, "afdx-experiments: %s: infeasible configuration (use -no-lint to bypass):\n", net.Name)
+			rep.WriteText(os.Stderr)
+			os.Exit(3)
+		}
+	}
 }

@@ -7,6 +7,9 @@
 //	afdx-sim -config net.json -duration-ms 1280 -seed 3
 //	afdx-sim -config net.json -compare          # also print both bounds
 //	afdx-sim -config net.json -policing -policing-rate 0.5
+//
+// The configuration is linted before the simulation starts; lint errors
+// abort the run (bypass with -no-lint).
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 		polRate    = flag.Float64("policing-rate", 1, "policer rate factor (<1 models a misbehaving source)")
 		compare    = flag.Bool("compare", false, "also print the analytic bounds per path")
 		relaxed    = flag.Bool("relaxed", false, "relax ARINC 664 contract validation")
+		noLint     = flag.Bool("no-lint", false, "skip the lint pre-flight gate")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
 		histogram  = flag.String("histogram", "", "print the delay distribution of one path (e.g. v1/0)")
 	)
@@ -50,6 +54,15 @@ func main() {
 	net, err := afdx.LoadJSON(*config, mode)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if !*noLint {
+		opts := afdx.DefaultLintOptions()
+		opts.Mode = mode
+		if rep := afdx.Lint(net, opts); rep.HasErrors() {
+			fmt.Fprintln(os.Stderr, "afdx-sim: infeasible configuration (use -no-lint to bypass):")
+			rep.WriteText(os.Stderr)
+			os.Exit(3)
+		}
 	}
 	pg, err := afdx.BuildPortGraph(net, mode)
 	if err != nil {

@@ -30,19 +30,30 @@ func (n *Network) SaveJSON(path string) error {
 	return f.Close()
 }
 
-// ReadJSON parses a network configuration and validates it with the
-// given mode.
-func ReadJSON(r io.Reader, mode ValidationMode) (*Network, error) {
+// DecodeJSON parses a network configuration without validating it.
+// Callers that want the usual first-error validation use ReadJSON; the
+// lint engine decodes first and then reports every violation itself.
+func DecodeJSON(r io.Reader) (*Network, error) {
 	var n Network
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&n); err != nil {
 		return nil, fmt.Errorf("afdx: decoding network: %w", err)
 	}
+	return &n, nil
+}
+
+// ReadJSON parses a network configuration and validates it with the
+// given mode.
+func ReadJSON(r io.Reader, mode ValidationMode) (*Network, error) {
+	n, err := DecodeJSON(r)
+	if err != nil {
+		return nil, err
+	}
 	if err := n.Validate(mode); err != nil {
 		return nil, err
 	}
-	return &n, nil
+	return n, nil
 }
 
 // LoadJSON reads a configuration from a file.

@@ -1,16 +1,24 @@
-package afdx
+// An external test package so the fuzzer can drive the full linter
+// (internal/lint imports internal/afdx; an in-package test would cycle).
+package afdx_test
 
 import (
 	"bytes"
 	"strings"
 	"testing"
+
+	afdx "afdx/internal/afdx"
+	"afdx/internal/diag"
+	"afdx/internal/lint"
 )
 
 // FuzzReadJSON checks that arbitrary input never panics the
-// configuration loader, and that anything it accepts round-trips.
+// configuration loader, that anything it accepts round-trips, and that
+// every decodable configuration — validated or not — lints without
+// panicking and yields a coherent report.
 func FuzzReadJSON(f *testing.F) {
 	var seed bytes.Buffer
-	if err := Figure2Config().WriteJSON(&seed); err != nil {
+	if err := afdx.Figure2Config().WriteJSON(&seed); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed.String())
@@ -18,8 +26,28 @@ func FuzzReadJSON(f *testing.F) {
 	f.Add(`{"name":"x"}`)
 	f.Add(`not json at all`)
 	f.Add(`{"name":"x","endSystems":["a"],"switches":[],"vls":[{"id":"v","source":"a","bagMs":1e308,"sMaxBytes":1,"sMinBytes":1,"paths":[["a","a","a"]]}]}`)
+	f.Add(`{"name":"x","endSystems":["a","b"],"switches":["S"],"vls":[null,{"id":"v","source":"a","bagMs":1,"sMaxBytes":100,"sMinBytes":64,"paths":[["a","S","b"]]}]}`)
 	f.Fuzz(func(t *testing.T, data string) {
-		n, err := ReadJSON(strings.NewReader(data), Relaxed)
+		// The linter must survive anything that merely decodes, even
+		// configurations validation would reject.
+		if n, err := afdx.DecodeJSON(strings.NewReader(data)); err == nil {
+			rep := lint.Run(n, lint.DefaultOptions())
+			if rep == nil {
+				t.Fatal("lint.Run returned a nil report")
+			}
+			if got := rep.Errors + rep.Warnings + rep.Infos; got != len(rep.Diagnostics) {
+				t.Fatalf("severity counts (%d) disagree with %d diagnostics",
+					got, len(rep.Diagnostics))
+			}
+			if ec := rep.ExitCode(); ec < 0 || ec > 2 {
+				t.Fatalf("exit code %d outside the 0..2 contract", ec)
+			}
+			if rep.HasErrors() != (rep.Errors > 0) {
+				t.Fatal("HasErrors disagrees with the error count")
+			}
+		}
+
+		n, err := afdx.ReadJSON(strings.NewReader(data), afdx.Relaxed)
 		if err != nil {
 			return // rejected: fine
 		}
@@ -27,8 +55,19 @@ func FuzzReadJSON(f *testing.F) {
 		if err := n.WriteJSON(&buf); err != nil {
 			t.Fatalf("accepted network failed to re-encode: %v", err)
 		}
-		if _, err := ReadJSON(&buf, Relaxed); err != nil {
+		if _, err := afdx.ReadJSON(&buf, afdx.Relaxed); err != nil {
 			t.Fatalf("round trip of accepted network failed: %v", err)
+		}
+		// A validated configuration must lint without errors from the
+		// structural analyzers that mirror Validate (contract codes may
+		// still fire: Relaxed acceptance, Strict lint default).
+		rep := lint.Run(n, lint.DefaultOptions())
+		for _, d := range rep.Diagnostics {
+			if d.Code == "AFDX003" || d.Code == "AFDX006" || d.Code == "AFDX011" || d.Code == "AFDX012" {
+				if d.Severity == diag.Error {
+					t.Fatalf("validated network still carries structural lint error: %s", d)
+				}
+			}
 		}
 	})
 }

@@ -3,6 +3,8 @@ package afdx
 import (
 	"fmt"
 	"sort"
+
+	"afdx/internal/diag"
 )
 
 // ARINC 664 part 7 bounds the jitter a transmitting end system may
@@ -36,8 +38,16 @@ type ESJitter struct {
 // traffic than the standard allows to multiplex on one port.
 func (n *Network) ESJitterReport() []ESJitter {
 	rate := n.Params.RateBitsPerUs()
+	if rate <= 0 {
+		// Degenerate physical parameters; AFDX011 reports them, the
+		// jitter formula is meaningless.
+		return nil
+	}
 	byES := map[string][]*VirtualLink{}
 	for _, vl := range n.VLs {
+		if vl == nil {
+			continue // nil entries are reported by AFDX011
+		}
 		byES[vl.Source] = append(byES[vl.Source], vl)
 	}
 	var out []ESJitter
@@ -73,4 +83,24 @@ func (n *Network) ValidateESJitter() error {
 		}
 	}
 	return nil
+}
+
+// ESJitterDiagnostics returns one coded diagnostic (AFDX008, Warning)
+// per end system whose ARINC 664 output jitter exceeds the standard's
+// cap. The severity is advisory: the delay analyses stay sound on such
+// configurations, but the network is not ARINC 664 compliant and the
+// end system is hosting more traffic than one output port should carry.
+func (n *Network) ESJitterDiagnostics() []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, r := range n.ESJitterReport() {
+		if r.Compliant {
+			continue
+		}
+		ds = append(ds, diag.New(diag.CodeESJitter, diag.Warning,
+			diag.Location{Node: r.EndSystem},
+			"move VLs to another end system or reduce their s_max",
+			"end system %q output jitter %.1f us exceeds the ARINC 664 cap of %d us (%d VLs hosted)",
+			r.EndSystem, r.JitterUs, ESJitterMaxUs, r.NumVLs))
+	}
+	return ds
 }

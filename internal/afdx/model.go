@@ -207,164 +207,9 @@ const (
 	Relaxed
 )
 
-// Validate checks the structural and contractual consistency of the
-// network configuration and returns the first violation found.
-func (n *Network) Validate(mode ValidationMode) error {
-	if len(n.EndSystems) == 0 {
-		return fmt.Errorf("afdx: network %q has no end systems", n.Name)
-	}
-	seen := map[string]string{}
-	for _, e := range n.EndSystems {
-		if k, dup := seen[e]; dup {
-			return fmt.Errorf("afdx: node %q declared twice (%s and end system)", e, k)
-		}
-		seen[e] = "end system"
-	}
-	for _, s := range n.Switches {
-		if k, dup := seen[s]; dup {
-			return fmt.Errorf("afdx: node %q declared twice (%s and switch)", s, k)
-		}
-		seen[s] = "switch"
-	}
-	if n.Params.LinkRateMbps <= 0 {
-		return fmt.Errorf("afdx: non-positive link rate %g", n.Params.LinkRateMbps)
-	}
-	if n.Params.SwitchLatencyUs < 0 || n.Params.SourceLatencyUs < 0 {
-		return fmt.Errorf("afdx: negative technological latency")
-	}
-	for _, lr := range n.LinkRates {
-		if lr.Mbps <= 0 {
-			return fmt.Errorf("afdx: link %s->%s has non-positive rate %g Mb/s", lr.From, lr.To, lr.Mbps)
-		}
-		if !n.IsEndSystem(lr.From) && !n.IsSwitch(lr.From) {
-			return fmt.Errorf("afdx: link rate for unknown node %q", lr.From)
-		}
-		if !n.IsEndSystem(lr.To) && !n.IsSwitch(lr.To) {
-			return fmt.Errorf("afdx: link rate for unknown node %q", lr.To)
-		}
-	}
-	vlIDs := map[string]bool{}
-	// An end system attaches to exactly one switch: record the attachment
-	// implied by each path and reject contradictions.
-	attach := map[string]string{}
-	for _, v := range n.VLs {
-		if v == nil {
-			return fmt.Errorf("afdx: nil virtual link in network %q", n.Name)
-		}
-		if v.ID == "" {
-			return fmt.Errorf("afdx: virtual link with empty ID")
-		}
-		if vlIDs[v.ID] {
-			return fmt.Errorf("afdx: duplicate virtual link ID %q", v.ID)
-		}
-		vlIDs[v.ID] = true
-		if !n.IsEndSystem(v.Source) {
-			return fmt.Errorf("afdx: VL %s source %q is not an end system", v.ID, v.Source)
-		}
-		if err := n.validateContract(v, mode); err != nil {
-			return err
-		}
-		if len(v.Paths) == 0 {
-			return fmt.Errorf("afdx: VL %s has no path", v.ID)
-		}
-		for pi, path := range v.Paths {
-			if err := n.validatePath(v, pi, path, attach); err != nil {
-				return err
-			}
-		}
-		if err := validateTree(v); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (n *Network) validateContract(v *VirtualLink, mode ValidationMode) error {
-	if v.BAGMs <= 0 {
-		return fmt.Errorf("afdx: VL %s has non-positive BAG %g ms", v.ID, v.BAGMs)
-	}
-	if v.SMaxBytes <= 0 || v.SMinBytes <= 0 {
-		return fmt.Errorf("afdx: VL %s has non-positive frame size", v.ID)
-	}
-	if v.SMinBytes > v.SMaxBytes {
-		return fmt.Errorf("afdx: VL %s has s_min %dB > s_max %dB", v.ID, v.SMinBytes, v.SMaxBytes)
-	}
-	if v.Priority < 0 {
-		return fmt.Errorf("afdx: VL %s has negative priority %d", v.ID, v.Priority)
-	}
-	if mode == Strict {
-		if v.BAGMs < MinBAGMs || v.BAGMs > MaxBAGMs || !isPowerOfTwo(v.BAGMs) {
-			return fmt.Errorf("afdx: VL %s BAG %g ms is not a power of two in [%d,%d] ms",
-				v.ID, v.BAGMs, MinBAGMs, MaxBAGMs)
-		}
-		if v.SMaxBytes > MaxFrameBytes {
-			return fmt.Errorf("afdx: VL %s s_max %dB exceeds Ethernet maximum %dB",
-				v.ID, v.SMaxBytes, MaxFrameBytes)
-		}
-		if v.SMinBytes < MinFrameBytes {
-			return fmt.Errorf("afdx: VL %s s_min %dB below Ethernet minimum %dB",
-				v.ID, v.SMinBytes, MinFrameBytes)
-		}
-	}
-	return nil
-}
-
-func (n *Network) validatePath(v *VirtualLink, pi int, path []string, attach map[string]string) error {
-	if len(path) < 3 {
-		return fmt.Errorf("afdx: VL %s path %d too short (%v): need source ES, >=1 switch, dest ES",
-			v.ID, pi, path)
-	}
-	if path[0] != v.Source {
-		return fmt.Errorf("afdx: VL %s path %d starts at %q, want source %q", v.ID, pi, path[0], v.Source)
-	}
-	last := path[len(path)-1]
-	if !n.IsEndSystem(last) {
-		return fmt.Errorf("afdx: VL %s path %d ends at %q which is not an end system", v.ID, pi, last)
-	}
-	if last == v.Source {
-		return fmt.Errorf("afdx: VL %s path %d loops back to its source", v.ID, pi)
-	}
-	for k := 1; k < len(path)-1; k++ {
-		if !n.IsSwitch(path[k]) {
-			return fmt.Errorf("afdx: VL %s path %d interior node %q is not a switch", v.ID, pi, path[k])
-		}
-	}
-	nodes := map[string]bool{}
-	for _, nd := range path {
-		if nodes[nd] {
-			return fmt.Errorf("afdx: VL %s path %d visits %q twice", v.ID, pi, nd)
-		}
-		nodes[nd] = true
-	}
-	// End systems attach to exactly one switch (ARINC 664 topology rule).
-	for _, pair := range [][2]string{{path[0], path[1]}, {last, path[len(path)-2]}} {
-		es, sw := pair[0], pair[1]
-		if prev, ok := attach[es]; ok && prev != sw {
-			return fmt.Errorf("afdx: end system %q attached to both %q and %q", es, prev, sw)
-		}
-		attach[es] = sw
-	}
-	return nil
-}
-
-// validateTree checks that a multicast VL's paths form a tree rooted at
-// the source: whenever two paths share a node, their prefixes up to that
-// node must be identical (a frame is replicated at branch points, never
-// re-routed onto a shared downstream node from different directions).
-func validateTree(v *VirtualLink) error {
-	pred := map[string]string{}
-	for pi, path := range v.Paths {
-		for k := 1; k < len(path); k++ {
-			node, prev := path[k], path[k-1]
-			if p, ok := pred[node]; ok && p != prev {
-				return fmt.Errorf("afdx: VL %s path %d reaches %q from %q, but another path reaches it from %q (multicast routing must be a tree)",
-					v.ID, pi, node, prev, p)
-			}
-			pred[node] = prev
-		}
-	}
-	return nil
-}
+// Validation is implemented in diagnostics.go: Network.Validate composes
+// the coded diagnostic collectors (StructuralDiagnostics) and returns the
+// first Error-severity finding.
 
 func isPowerOfTwo(f float64) bool {
 	if f <= 0 || f != math.Trunc(f) {

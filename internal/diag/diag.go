@@ -1,0 +1,230 @@
+// Package diag defines the structured diagnostic currency shared by the
+// AFDX configuration model (internal/afdx), the static-analysis engine
+// (internal/lint), and the delay-analysis engines: a stable
+// machine-readable code, a severity, a location inside the network, a
+// human-readable message, and an actionable suggestion.
+//
+// The package sits below both internal/afdx and internal/lint so that
+// the model's own validation and the lint analyzers can emit through one
+// vocabulary without an import cycle. Codes are stable across releases:
+// scripted consumers (CI gates, SARIF viewers) key on them.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity grades a diagnostic. Error marks a configuration the delay
+// analyses reject or that violates the ARINC 664 contract outright;
+// Warning marks a condition that is analysable but suspicious or
+// non-compliant with an advisory rule; Info is a neutral observation.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON encodes the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a lower-case severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch strings.Trim(string(b), `"`) {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	case "info":
+		*s = Info
+	default:
+		return fmt.Errorf("diag: unknown severity %s", b)
+	}
+	return nil
+}
+
+// Code is a stable diagnostic identifier of the form AFDX###.
+type Code string
+
+// The diagnostic codes of the AFDX static analyzers. One code per
+// registered analyzer (internal/lint asserts uniqueness); AFDX000 is
+// reserved for input that cannot be decoded at all.
+const (
+	// CodeParse marks input that could not be decoded into a Network.
+	CodeParse Code = "AFDX000"
+	// CodeStability marks an output port whose aggregate long-term rate
+	// exceeds (Error) or approaches (Warning) the link rate.
+	CodeStability Code = "AFDX001"
+	// CodeRouting marks malformed or looping VL routing: short paths,
+	// wrong endpoints, interior non-switches, repeated nodes, and cyclic
+	// port dependencies (non-feed-forward configurations).
+	CodeRouting Code = "AFDX002"
+	// CodeVLIdentity marks missing, empty, or duplicate VL identifiers.
+	CodeVLIdentity Code = "AFDX003"
+	// CodeBAG marks Bandwidth Allocation Gaps outside the ARINC 664 set
+	// (powers of two in [1,128] ms) or non-positive.
+	CodeBAG Code = "AFDX004"
+	// CodeFrameSize marks frame-size contract violations: outside the
+	// Ethernet bounds [64,1518] B, non-positive, or s_min > s_max.
+	CodeFrameSize Code = "AFDX005"
+	// CodeMulticastTree marks multicast VLs whose paths do not form a
+	// tree rooted at the source.
+	CodeMulticastTree Code = "AFDX006"
+	// CodeGrouping reports on the preconditions of the grouping
+	// (serialization) refinement: whether any port sees two flows
+	// sharing an input link.
+	CodeGrouping Code = "AFDX007"
+	// CodeESJitter marks end systems whose ARINC 664 output jitter
+	// exceeds the standard's 500 us cap.
+	CodeESJitter Code = "AFDX008"
+	// CodeDeadline marks paths whose idle-network delay floor already
+	// exceeds the BAG-as-deadline bound (trivially uncertifiable).
+	CodeDeadline Code = "AFDX009"
+	// CodeOrphan marks declared nodes and per-link rate overrides that no
+	// VL path uses.
+	CodeOrphan Code = "AFDX010"
+	// CodeNetwork marks network-level structural problems: no end
+	// systems, duplicate node declarations, non-positive rates, negative
+	// latencies, nil VLs, negative priorities.
+	CodeNetwork Code = "AFDX011"
+	// CodeAttachment marks end systems attached to more than one switch
+	// (the ARINC 664 topology rule).
+	CodeAttachment Code = "AFDX012"
+)
+
+// Location pins a diagnostic inside the configuration. Zero fields are
+// simply omitted: a network-level diagnostic has none, a port-level one
+// fills Link, a contract violation fills VL.
+type Location struct {
+	// VL is the virtual-link identifier, when the diagnostic concerns
+	// one VL (contract, routing, tree).
+	VL string `json:"vl,omitempty"`
+	// Node is an end system or switch name.
+	Node string `json:"node,omitempty"`
+	// Link is a directed link / output port, rendered "from->to".
+	Link string `json:"link,omitempty"`
+}
+
+// IsZero reports whether the location carries no information.
+func (l Location) IsZero() bool { return l == Location{} }
+
+func (l Location) String() string {
+	var parts []string
+	if l.VL != "" {
+		parts = append(parts, "vl="+l.VL)
+	}
+	if l.Node != "" {
+		parts = append(parts, "node="+l.Node)
+	}
+	if l.Link != "" {
+		parts = append(parts, "link="+l.Link)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Diagnostic is one finding: a coded, located, graded message with a
+// machine-actionable suggestion.
+type Diagnostic struct {
+	Code       Code     `json:"code"`
+	Severity   Severity `json:"severity"`
+	Loc        Location `json:"location,omitempty"`
+	Message    string   `json:"message"`
+	Suggestion string   `json:"suggestion,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-7s ", d.Code, d.Severity)
+	if !d.Loc.IsZero() {
+		fmt.Fprintf(&b, "[%s] ", d.Loc)
+	}
+	b.WriteString(d.Message)
+	return b.String()
+}
+
+// New builds a diagnostic.
+func New(code Code, sev Severity, loc Location, suggestion, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Code:       code,
+		Severity:   sev,
+		Loc:        loc,
+		Message:    fmt.Sprintf(format, args...),
+		Suggestion: suggestion,
+	}
+}
+
+// Sort orders diagnostics for stable presentation: errors first, then by
+// code, location, and message.
+func Sort(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Severity != ds[j].Severity {
+			return ds[i].Severity > ds[j].Severity
+		}
+		if ds[i].Code != ds[j].Code {
+			return ds[i].Code < ds[j].Code
+		}
+		if li, lj := ds[i].Loc.String(), ds[j].Loc.String(); li != lj {
+			return li < lj
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}
+
+// Count tallies diagnostics by severity.
+func Count(ds []Diagnostic) (errs, warns, infos int) {
+	for _, d := range ds {
+		switch d.Severity {
+		case Error:
+			errs++
+		case Warning:
+			warns++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func HasErrors(ds []Diagnostic) bool {
+	e, _, _ := Count(ds)
+	return e > 0
+}
+
+// FirstError returns the first Error-severity diagnostic in order, or a
+// zero Diagnostic and false.
+func FirstError(ds []Diagnostic) (Diagnostic, bool) {
+	for _, d := range ds {
+		if d.Severity == Error {
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// Filter returns the diagnostics with the given code.
+func Filter(ds []Diagnostic, code Code) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{Info, Warning, Error} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Severity
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("round trip of %v gave %v", s, got)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"nonsense"`), &s); err == nil {
+		t.Error("expected error for unknown severity")
+	}
+}
+
+func TestSortAndCount(t *testing.T) {
+	ds := []Diagnostic{
+		{Code: CodeOrphan, Severity: Warning, Message: "b"},
+		{Code: CodeStability, Severity: Error, Message: "a", Loc: Location{Link: "x->y"}},
+		{Code: CodeGrouping, Severity: Info, Message: "c"},
+		{Code: CodeBAG, Severity: Error, Message: "d", Loc: Location{VL: "v1"}},
+	}
+	Sort(ds)
+	if ds[0].Code != CodeStability || ds[1].Code != CodeBAG {
+		t.Errorf("errors should sort first by code: %v", ds)
+	}
+	if ds[3].Severity != Info {
+		t.Errorf("info should sort last: %v", ds)
+	}
+	e, w, i := Count(ds)
+	if e != 2 || w != 1 || i != 1 {
+		t.Errorf("Count = %d/%d/%d, want 2/1/1", e, w, i)
+	}
+	if !HasErrors(ds) {
+		t.Error("HasErrors should be true")
+	}
+	if d, ok := FirstError(ds); !ok || d.Code != CodeStability {
+		t.Errorf("FirstError = %v, %v", d, ok)
+	}
+	if got := Filter(ds, CodeBAG); len(got) != 1 || got[0].Message != "d" {
+		t.Errorf("Filter = %v", got)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := New(CodeStability, Error, Location{Link: "e1->S1"}, "shed load",
+		"port %s unstable", "e1->S1")
+	s := d.String()
+	for _, frag := range []string{"AFDX001", "error", "link=e1->S1", "unstable"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	if Location.IsZero(Location{}) != true {
+		t.Error("zero location should report IsZero")
+	}
+}

@@ -1,0 +1,178 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	afdx "afdx/internal/afdx"
+	"afdx/internal/configgen"
+	"afdx/internal/diag"
+	"afdx/internal/lint"
+)
+
+// loadCorpus decodes one testdata configuration without validating it
+// (the linter reports every defect itself).
+func loadCorpus(t *testing.T, name string) *afdx.Network {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	net, err := afdx.DecodeJSON(f)
+	if err != nil {
+		t.Fatalf("decoding %s: %v", name, err)
+	}
+	return net
+}
+
+// uniqueCodes returns the sorted set of distinct codes in a report.
+func uniqueCodes(rep *lint.Report) []string {
+	set := map[string]bool{}
+	for _, d := range rep.Diagnostics {
+		set[string(d.Code)] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestGoldenCorpus pins every analyzer to a configuration constructed
+// to trip it — and nothing else. Each file is a golden example of one
+// diagnostic code; multi.json checks that independent defects coexist.
+func TestGoldenCorpus(t *testing.T) {
+	cases := []struct {
+		file  string
+		codes []string // exact set of distinct codes expected
+		exit  int      // severity exit code (0 clean/info, 1 warnings, 2 errors)
+	}{
+		{"clean.json", []string{}, 0},
+		{"unstable_port.json", []string{"AFDX001"}, 2},
+		{"routing_loop.json", []string{"AFDX002"}, 2},
+		{"no_path.json", []string{"AFDX002"}, 2},
+		{"dup_vl.json", []string{"AFDX003"}, 2},
+		{"bad_bag.json", []string{"AFDX004"}, 2},
+		{"bad_frame.json", []string{"AFDX005"}, 2},
+		{"bad_tree.json", []string{"AFDX006"}, 2},
+		{"no_grouping.json", []string{"AFDX007"}, 0},
+		{"jitter.json", []string{"AFDX008"}, 1},
+		{"deadline.json", []string{"AFDX009"}, 1},
+		{"orphan.json", []string{"AFDX010"}, 1},
+		{"bad_network.json", []string{"AFDX011"}, 2},
+		{"bad_attach.json", []string{"AFDX012"}, 2},
+		{"multi.json", []string{"AFDX003", "AFDX004", "AFDX010"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			net := loadCorpus(t, tc.file)
+			rep := lint.Run(net, lint.DefaultOptions())
+			got := uniqueCodes(rep)
+			if len(got) != len(tc.codes) {
+				t.Fatalf("codes = %v, want %v\nreport:\n%s", got, tc.codes, renderText(t, rep))
+			}
+			for i := range got {
+				if got[i] != tc.codes[i] {
+					t.Fatalf("codes = %v, want %v\nreport:\n%s", got, tc.codes, renderText(t, rep))
+				}
+			}
+			if rep.ExitCode() != tc.exit {
+				t.Errorf("exit code = %d, want %d", rep.ExitCode(), tc.exit)
+			}
+		})
+	}
+}
+
+func renderText(t *testing.T, rep *lint.Report) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestCorpusRoutingLoopPreciseCycle checks the cycle report names the
+// three ports on the loop and none of the ports merely downstream.
+func TestCorpusRoutingLoopPreciseCycle(t *testing.T) {
+	rep := lint.Run(loadCorpus(t, "routing_loop.json"), lint.DefaultOptions())
+	if len(rep.Diagnostics) != 1 {
+		t.Fatalf("got %d diagnostics, want 1:\n%s", len(rep.Diagnostics), renderText(t, rep))
+	}
+	msg := rep.Diagnostics[0].Message
+	for _, want := range []string{"3 ports", "S1->S2", "S2->S3", "S3->S1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("cycle message %q missing %q", msg, want)
+		}
+	}
+	for _, stray := range []string{"f1", "f2", "f3"} {
+		if strings.Contains(msg, stray) {
+			t.Errorf("cycle message %q names downstream-only port %s", msg, stray)
+		}
+	}
+}
+
+// TestCorpusSkipsPortAnalyzers checks that configurations whose port
+// graph cannot be derived still lint (structural analyzers run) and
+// honestly report which analyzers were skipped.
+func TestCorpusSkipsPortAnalyzers(t *testing.T) {
+	rep := lint.Run(loadCorpus(t, "routing_loop.json"), lint.DefaultOptions())
+	if len(rep.Skipped) == 0 {
+		t.Fatal("expected port-graph analyzers to be skipped on a cyclic configuration")
+	}
+	for _, name := range rep.Skipped {
+		a := analyzerByName(name)
+		if a == nil {
+			t.Fatalf("skipped list names unregistered analyzer %q", name)
+		}
+		if !a.NeedsPorts {
+			t.Errorf("analyzer %q skipped but does not need the port graph", name)
+		}
+	}
+}
+
+func analyzerByName(name string) *lint.Analyzer {
+	for _, a := range lint.Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// TestFigure2Clean pins the acceptance criterion: the paper's sample
+// configuration lints completely clean.
+func TestFigure2Clean(t *testing.T) {
+	rep := lint.Run(afdx.Figure2Config(), lint.DefaultOptions())
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("Figure 2 configuration is not clean:\n%s", renderText(t, rep))
+	}
+	if rep.ExitCode() != 0 {
+		t.Errorf("exit code = %d, want 0", rep.ExitCode())
+	}
+}
+
+// TestIndustrialSeed1NoErrors pins the other acceptance criterion: the
+// synthetic industrial configuration (seed 1) has no lint errors. (It
+// carries AFDX008 jitter warnings — the generator packs end systems as
+// densely as the published statistics demand.)
+func TestIndustrialSeed1NoErrors(t *testing.T) {
+	net, err := configgen.Generate(configgen.DefaultSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := lint.Run(net, lint.DefaultOptions())
+	if rep.HasErrors() {
+		t.Fatalf("industrial seed 1 has lint errors:\n%s", renderText(t, rep))
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Severity == diag.Warning && d.Code != diag.CodeESJitter {
+			t.Errorf("unexpected warning: %s", d)
+		}
+	}
+}

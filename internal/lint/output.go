@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"afdx/internal/diag"
+)
+
+// WriteText renders the report for humans: one line per diagnostic
+// (code, severity, location, message), an indented fix suggestion, and
+// a closing summary line.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+		if d.Suggestion != "" {
+			if _, err := fmt.Fprintf(w, "        fix: %s\n", d.Suggestion); err != nil {
+				return err
+			}
+		}
+	}
+	summary := fmt.Sprintf("%s: %d error(s), %d warning(s), %d info", r.Network, r.Errors, r.Warnings, r.Infos)
+	if len(r.Skipped) > 0 {
+		summary += fmt.Sprintf(" [%s skipped: port graph not derivable]", strings.Join(r.Skipped, ", "))
+	}
+	_, err := fmt.Fprintln(w, summary)
+	return err
+}
+
+// WriteJSON renders the report as one indented JSON document. A clean
+// report carries an empty diagnostics array, not null, so consumers can
+// iterate unconditionally.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := *r
+	if out.Diagnostics == nil {
+		out.Diagnostics = []diag.Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// SARIF 2.1.0 skeleton, the subset static-analysis viewers consume:
+// one run, one rule per registered analyzer, one result per diagnostic.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	Name             string            `json:"name"`
+	ShortDescription sarifMessage      `json:"shortDescription"`
+	FullDescription  sarifMessage      `json:"fullDescription"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation *sarifPhysical  `json:"physicalLocation,omitempty"`
+	LogicalLocations []sarifLogicalL `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifLogicalL struct {
+	FullyQualifiedName string `json:"fullyQualifiedName"`
+}
+
+func sarifLevel(s diag.Severity) string {
+	switch s {
+	case diag.Error:
+		return "error"
+	case diag.Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// WriteSARIF renders the report in SARIF 2.1.0 so CI systems and code
+// scanners can ingest it. artifactURI names the configuration file the
+// report describes (empty is allowed: locations then carry only the
+// logical network coordinates).
+func (r *Report) WriteSARIF(w io.Writer, artifactURI string) error {
+	driver := sarifDriver{Name: "afdx-lint"}
+	for _, a := range Analyzers() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               string(a.Code),
+			Name:             a.Name,
+			ShortDescription: sarifMessage{Text: a.Name},
+			FullDescription:  sarifMessage{Text: a.Doc},
+		})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	for _, d := range r.Diagnostics {
+		res := sarifResult{
+			RuleID:  string(d.Code),
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: d.Message},
+		}
+		var loc sarifLocation
+		if artifactURI != "" {
+			loc.PhysicalLocation = &sarifPhysical{ArtifactLocation: sarifArtifact{URI: artifactURI}}
+		}
+		if !d.Loc.IsZero() {
+			loc.LogicalLocations = []sarifLogicalL{{FullyQualifiedName: d.Loc.String()}}
+		}
+		if loc.PhysicalLocation != nil || loc.LogicalLocations != nil {
+			res.Locations = []sarifLocation{loc}
+		}
+		run.Results = append(run.Results, res)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	})
+}

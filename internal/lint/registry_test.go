@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	afdx "afdx/internal/afdx"
+	"afdx/internal/lint"
+	"afdx/internal/netcalc"
+	"afdx/internal/trajectory"
+)
+
+// TestRegistryWellFormed enforces the analyzer contract: every
+// registered analyzer carries a unique stable AFDX### code, a unique
+// name, and a non-empty doc, and the registry lists them sorted.
+func TestRegistryWellFormed(t *testing.T) {
+	analyzers := lint.Analyzers()
+	if len(analyzers) < 10 {
+		t.Fatalf("registry holds %d analyzers, want at least 10", len(analyzers))
+	}
+	codeRe := regexp.MustCompile(`^AFDX\d{3}$`)
+	codes := map[string]bool{}
+	names := map[string]bool{}
+	prev := ""
+	for _, a := range analyzers {
+		code := string(a.Code)
+		if !codeRe.MatchString(code) {
+			t.Errorf("analyzer %q code %q is not AFDX###", a.Name, code)
+		}
+		if codes[code] {
+			t.Errorf("duplicate analyzer code %s", code)
+		}
+		codes[code] = true
+		if a.Name == "" {
+			t.Errorf("analyzer %s has an empty name", code)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s (%s) has no documentation", code, a.Name)
+		}
+		if code <= prev {
+			t.Errorf("registry not sorted: %s listed after %s", code, prev)
+		}
+		prev = code
+		if got := lint.AnalyzerByCode(a.Code); got != a {
+			t.Errorf("AnalyzerByCode(%s) does not round-trip", code)
+		}
+	}
+}
+
+// TestEnginesRejectUnstableViaLint checks the deduplicated stability
+// gate: both delay engines refuse an unstable configuration with the
+// shared AFDX001 diagnostic rather than a private check.
+func TestEnginesRejectUnstableViaLint(t *testing.T) {
+	net := loadCorpus(t, "unstable_port.json")
+	pg, err := afdx.BuildPortGraph(net, afdx.Relaxed)
+	if err != nil {
+		t.Fatalf("the unstable configuration is structurally valid, BuildPortGraph failed: %v", err)
+	}
+	if err := lint.CheckStability(pg); err == nil {
+		t.Fatal("CheckStability accepted an unstable port graph")
+	}
+	if _, err := netcalc.Analyze(pg, netcalc.DefaultOptions()); err == nil {
+		t.Error("netcalc accepted an unstable configuration")
+	} else if !strings.Contains(err.Error(), "AFDX001") {
+		t.Errorf("netcalc error %q does not carry the AFDX001 code", err)
+	}
+	if _, err := trajectory.Analyze(pg, trajectory.DefaultOptions()); err == nil {
+		t.Error("trajectory accepted an unstable configuration")
+	} else if !strings.Contains(err.Error(), "AFDX001") {
+		t.Errorf("trajectory error %q does not carry the AFDX001 code", err)
+	}
+}
+
+// TestLintNeverPanicsOnHostileInputs runs the full linter over every
+// corpus file plus degenerate in-memory networks; Run must always
+// return a report, never panic.
+func TestLintNeverPanicsOnHostileInputs(t *testing.T) {
+	nets := []*afdx.Network{
+		{},
+		{Name: "only-name"},
+		{Name: "nil-vl", EndSystems: []string{"e1"}, VLs: []*afdx.VirtualLink{nil}},
+	}
+	for _, n := range nets {
+		rep := lint.Run(n, lint.DefaultOptions())
+		if rep == nil {
+			t.Fatalf("Run returned nil report for %q", n.Name)
+		}
+	}
+}

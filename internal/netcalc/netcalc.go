@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"afdx/internal/afdx"
+	"afdx/internal/lint"
 	"afdx/internal/minplus"
 )
 
@@ -90,8 +91,14 @@ type Result struct {
 
 // Analyze runs the WCNC analysis over a feed-forward port graph.
 // It returns an error when a port is unstable (aggregate long-term rate
-// above the link rate), since no finite bound exists in that case.
+// above the link rate), since no finite bound exists in that case. The
+// stability pre-flight is the shared lint check (diagnostic AFDX001):
+// any configuration this engine rejects is flagged by the linter before
+// the analysis is ever invoked.
 func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
+	if err := lint.CheckStability(pg); err != nil {
+		return nil, fmt.Errorf("netcalc: %w", err)
+	}
 	res := &Result{
 		Opts:         opts,
 		Ports:        make(map[afdx.PortID]PortResult, len(pg.Ports)),
@@ -210,10 +217,9 @@ func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) error {
 	}
 	sort.Ints(levels)
 
-	if rhoSum > port.RateBitsPerUs+minplus.Eps {
-		return fmt.Errorf("netcalc: port %s unstable: aggregate rate %.3f bits/us exceeds link rate %.3f",
-			id, rhoSum, port.RateBitsPerUs)
-	}
+	// Stability (rhoSum <= rate) is guaranteed by the pre-flight
+	// lint.CheckStability in Analyze; rhoSum is kept for the utilization
+	// figure of the port result.
 
 	// Per-level delay bounds: level p is served by the port's service
 	// minus the higher levels' arrivals and minus one non-preemptive

@@ -38,6 +38,7 @@ import (
 	"sort"
 
 	"afdx/internal/afdx"
+	"afdx/internal/lint"
 	"afdx/internal/netcalc"
 )
 
@@ -127,10 +128,11 @@ func newAnalyzer(pg *afdx.PortGraph, opts Options) (*analyzer, error) {
 		trajPrefix: map[netcalc.FlowPortKey]float64{},
 		inProgress: map[netcalc.FlowPortKey]bool{},
 	}
-	for id, u := range pg.UtilizationReport() {
-		if u > 1+1e-9 {
-			return nil, fmt.Errorf("trajectory: port %s unstable (utilization %.3f)", id, u)
-		}
+	// Shared stability pre-flight (lint diagnostic AFDX001), consuming
+	// PortGraph.UtilizationReport exactly as the Network Calculus engine
+	// and the linter do.
+	if err := lint.CheckStability(pg); err != nil {
+		return nil, fmt.Errorf("trajectory: %w", err)
 	}
 	// The Trajectory approach, as published for AFDX, analyses FIFO
 	// output ports; mixed static-priority configurations are analysable
