@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the expanded verification
 # gate (build, gofmt, vet, tests, race detector); see check.sh.
 
-.PHONY: build test check lint fmt
+.PHONY: build test check lint fmt bench
 
 build:
 	go build ./...
@@ -19,3 +19,11 @@ lint:
 
 fmt:
 	gofmt -w .
+
+# Time the industrial engine benchmarks sequentially (-parallel 1) and
+# parallel (-parallel 0 = all CPUs) and record ns/op plus the parallel
+# speedup in BENCH_PR2.json. The bit-reproducibility contract makes the
+# two variants compute identical bounds, so the ratio is pure wall-time.
+bench:
+	go test -run '^$$' -bench 'Industrial(Seq|Par)$$' -benchtime 2x . \
+		| tee /dev/stderr | go run ./cmd/afdx-benchjson > BENCH_PR2.json

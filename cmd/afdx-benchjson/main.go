@@ -1,0 +1,140 @@
+// Command afdx-benchjson converts `go test -bench` output on stdin into
+// a small JSON report on stdout, pairing the industrial engine
+// benchmarks' Seq/Par variants and computing the parallel speedup.
+//
+// Usage:
+//
+//	go test -bench 'Industrial(Seq|Par)$' -run '^$' . | afdx-benchjson > BENCH_PR2.json
+//
+// The report records the runner's CPU budget (GOMAXPROCS) alongside
+// each ns/op so speedups quoted from a single-core container are not
+// mistaken for the engines' multi-core scaling.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Row is one benchmark result line.
+type Row struct {
+	Name string  `json:"name"`
+	Iter int     `json:"iterations"`
+	NsOp float64 `json:"ns_per_op"`
+}
+
+// Pair is a Seq/Par benchmark couple with its speedup.
+type Pair struct {
+	Base       string  `json:"benchmark"`
+	SeqNsOp    float64 `json:"seq_ns_per_op"`
+	ParNsOp    float64 `json:"par_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	Rows       []Row  `json:"benchmarks"`
+	Pairs      []Pair `json:"seq_par_pairs,omitempty"`
+	Note       string `json:"note"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("afdx-benchjson: ")
+	rows, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rows) == 0 {
+		log.Fatal("no benchmark lines on stdin (pipe `go test -bench ...` output)")
+	}
+	rep := Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Rows:       rows,
+		Pairs:      pair(rows),
+		Note: "Seq = -parallel 1, Par = -parallel 0 (all CPUs). The engines' " +
+			"bit-reproducibility contract makes both variants compute identical " +
+			"bounds; speedup below ~1.5x on a multi-core runner is a regression, " +
+			"speedup ~1.0x is expected when gomaxprocs is 1.",
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parse extracts "BenchmarkName-8  N  12345 ns/op" lines.
+func parse(f *os.File) ([]Row, error) {
+	var rows []Row
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		i := -1
+		for j, f := range fields {
+			if f == "ns/op" {
+				i = j
+				break
+			}
+		}
+		if i < 2 {
+			continue
+		}
+		iter, err := strconv.Atoi(fields[i-2])
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if j := strings.LastIndex(name, "-"); j > 0 {
+			name = name[:j] // strip the -GOMAXPROCS suffix
+		}
+		rows = append(rows, Row{Name: name, Iter: iter, NsOp: ns})
+	}
+	return rows, sc.Err()
+}
+
+// pair matches FooSeq/FooPar rows and computes speedups.
+func pair(rows []Row) []Pair {
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Name] = r.NsOp
+	}
+	var pairs []Pair
+	for name, seq := range byName {
+		base, ok := strings.CutSuffix(name, "Seq")
+		if !ok {
+			continue
+		}
+		par, ok := byName[base+"Par"]
+		if !ok || par == 0 {
+			continue
+		}
+		pairs = append(pairs, Pair{
+			Base: base, SeqNsOp: seq, ParNsOp: par,
+			Speedup:    seq / par,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Base < pairs[j].Base })
+	return pairs
+}

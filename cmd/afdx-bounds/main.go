@@ -55,6 +55,7 @@ func main() {
 		config     = flag.String("config", "", "network configuration JSON (required)")
 		method     = flag.String("method", "both", "nc | trajectory | both")
 		noGrouping = flag.Bool("no-grouping", false, "disable the grouping (serialization) technique")
+		parallelN  = flag.Int("parallel", 0, "analysis worker count (0 = all CPUs, 1 = sequential; bounds are identical either way)")
 		relaxed    = flag.Bool("relaxed", false, "relax ARINC 664 contract validation")
 		noLint     = flag.Bool("no-lint", false, "skip the lint pre-flight gate")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
@@ -88,6 +89,8 @@ func main() {
 	trOpts := afdx.DefaultTrajectoryOptions()
 	ncOpts.Grouping = !*noGrouping
 	trOpts.Grouping = !*noGrouping
+	ncOpts.Parallel = *parallelN
+	trOpts.Parallel = *parallelN
 
 	var (
 		ncDelays, trDelays map[afdx.PathID]float64

@@ -28,10 +28,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("afdx-experiments: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
-		seed   = flag.Int64("seed", 1, "seed of the synthetic industrial configuration")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		noLint = flag.Bool("no-lint", false, "skip the lint pre-flight gate")
+		exp       = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		seed      = flag.Int64("seed", 1, "seed of the synthetic industrial configuration")
+		parallelN = flag.Int("parallel", 0, "analysis worker count (0 = all CPUs, 1 = sequential; tables are identical either way)")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		noLint    = flag.Bool("no-lint", false, "skip the lint pre-flight gate")
 	)
 	flag.Parse()
 
@@ -44,9 +45,10 @@ func main() {
 	if !*noLint {
 		preflight(*seed)
 	}
+	cfg := experiments.Config{Seed: *seed, Parallel: *parallelN}
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s: %s ===\n\n", e.ID, e.Title)
-		if err := e.Run(os.Stdout, *seed); err != nil {
+		if err := e.Run(os.Stdout, cfg); err != nil {
 			log.Fatalf("%s: %v", e.ID, err)
 		}
 		fmt.Println()

@@ -37,6 +37,7 @@ func main() {
 		policing   = flag.Bool("policing", false, "enable per-VL ingress policing")
 		polRate    = flag.Float64("policing-rate", 1, "policer rate factor (<1 models a misbehaving source)")
 		compare    = flag.Bool("compare", false, "also print the analytic bounds per path")
+		parallelN  = flag.Int("parallel", 0, "analysis worker count for -compare (0 = all CPUs, 1 = sequential)")
 		relaxed    = flag.Bool("relaxed", false, "relax ARINC 664 contract validation")
 		noLint     = flag.Bool("no-lint", false, "skip the lint pre-flight gate")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
@@ -85,7 +86,11 @@ func main() {
 
 	var cmp *afdx.Comparison
 	if *compare {
-		cmp, err = afdx.Compare(pg)
+		ncOpts := afdx.DefaultNCOptions()
+		trOpts := afdx.DefaultTrajectoryOptions()
+		ncOpts.Parallel = *parallelN
+		trOpts.Parallel = *parallelN
+		cmp, err = afdx.CompareWith(pg, ncOpts, trOpts)
 		if err != nil {
 			log.Fatal(err)
 		}

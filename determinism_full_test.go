@@ -1,0 +1,45 @@
+//go:build !race
+
+package afdx_test
+
+// The full-size trajectory reproducibility check. The race detector
+// multiplies the industrial trajectory analysis' seconds-long runtime
+// by an order of magnitude, so this file is excluded from -race runs
+// (the race build tag is set by the detector); the concurrency itself
+// is still exercised under -race by the scaled-down variant in
+// determinism_test.go.
+
+import (
+	"testing"
+
+	"afdx"
+)
+
+// TestIndustrialTrajectoryBitIdenticalParallel checks the path-parallel
+// trajectory engine against the sequential one on the full seed-1
+// industrial configuration (>5000 paths).
+func TestIndustrialTrajectoryBitIdenticalParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("industrial analysis is expensive")
+	}
+	net, err := afdx.Generate(afdx.DefaultGeneratorSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := afdx.DefaultTrajectoryOptions()
+	opts.Parallel = 1
+	seq, err := afdx.AnalyzeTrajectory(pg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 0 // all CPUs
+	par, err := afdx.AnalyzeTrajectory(pg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrajectoryResults(t, "industrial trajectory", seq, par)
+}

@@ -1,0 +1,178 @@
+package afdx_test
+
+// Bit-reproducibility contract tests: both analysis engines must return
+// bit-identical results across repeated runs and across worker-pool
+// sizes (-parallel 1 vs -parallel N). The engines promise this by
+// construction — float accumulation orders are fixed by sorted
+// iteration, per-unit computations are pure, and worker results are
+// merged in canonical order — and these tests pin the promise down,
+// including under the race detector (see check.sh).
+
+import (
+	"testing"
+
+	"afdx"
+)
+
+// sameNCResults fails the test unless the two NC results are
+// bit-identical: exact float equality (==, not a tolerance) on every
+// per-port and per-path quantity.
+func sameNCResults(t *testing.T, label string, a, b *afdx.NCResult) {
+	t.Helper()
+	if len(a.Ports) != len(b.Ports) {
+		t.Fatalf("%s: port count %d vs %d", label, len(a.Ports), len(b.Ports))
+	}
+	for id, pa := range a.Ports {
+		pb, ok := b.Ports[id]
+		if !ok {
+			t.Fatalf("%s: port %v missing", label, id)
+		}
+		if pa.DelayUs != pb.DelayUs || pa.BacklogBits != pb.BacklogBits || pa.Utilization != pb.Utilization {
+			t.Errorf("%s: port %v differs: (%v,%v,%v) vs (%v,%v,%v)", label, id,
+				pa.DelayUs, pa.BacklogBits, pa.Utilization, pb.DelayUs, pb.BacklogBits, pb.Utilization)
+		}
+		if len(pa.DelayByPriority) != len(pb.DelayByPriority) {
+			t.Errorf("%s: port %v priority levels %d vs %d", label, id,
+				len(pa.DelayByPriority), len(pb.DelayByPriority))
+		}
+		for lvl, d := range pa.DelayByPriority {
+			if d != pb.DelayByPriority[lvl] {
+				t.Errorf("%s: port %v level %d: %v vs %v", label, id, lvl, d, pb.DelayByPriority[lvl])
+			}
+		}
+	}
+	if len(a.PathDelays) != len(b.PathDelays) {
+		t.Fatalf("%s: path count %d vs %d", label, len(a.PathDelays), len(b.PathDelays))
+	}
+	for pid, d := range a.PathDelays {
+		if d != b.PathDelays[pid] {
+			t.Errorf("%s: path %v: %v vs %v", label, pid, d, b.PathDelays[pid])
+		}
+	}
+	for k, v := range a.PrefixDelays {
+		if v != b.PrefixDelays[k] {
+			t.Errorf("%s: prefix %v: %v vs %v", label, k, v, b.PrefixDelays[k])
+		}
+	}
+	for k, v := range a.Bursts {
+		if v != b.Bursts[k] {
+			t.Errorf("%s: burst %v: %v vs %v", label, k, v, b.Bursts[k])
+		}
+	}
+}
+
+// sameTrajectoryResults fails the test unless the two trajectory
+// results are bit-identical, details included.
+func sameTrajectoryResults(t *testing.T, label string, a, b *afdx.TrajectoryResult) {
+	t.Helper()
+	if len(a.PathDelays) != len(b.PathDelays) {
+		t.Fatalf("%s: path count %d vs %d", label, len(a.PathDelays), len(b.PathDelays))
+	}
+	for pid, d := range a.PathDelays {
+		if d != b.PathDelays[pid] {
+			t.Errorf("%s: path %v: %v vs %v", label, pid, d, b.PathDelays[pid])
+		}
+	}
+	for pid, da := range a.Details {
+		if db := b.Details[pid]; da != db {
+			t.Errorf("%s: detail %v: %+v vs %+v", label, pid, da, db)
+		}
+	}
+}
+
+// TestFigure2BitIdenticalAcrossRunsAndWorkers runs both engines on the
+// paper's sample configuration five times at each worker count and
+// demands bit-identical output against the sequential reference.
+func TestFigure2BitIdenticalAcrossRunsAndWorkers(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncOpts := afdx.DefaultNCOptions()
+	trOpts := afdx.DefaultTrajectoryOptions()
+	ncOpts.Parallel = 1
+	trOpts.Parallel = 1
+	ncRef, err := afdx.AnalyzeNC(pg, ncOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trRef, err := afdx.AnalyzeTrajectory(pg, trOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		ncOpts.Parallel = workers
+		trOpts.Parallel = workers
+		for run := 0; run < 5; run++ {
+			nc, err := afdx.AnalyzeNC(pg, ncOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameNCResults(t, "figure2 NC", ncRef, nc)
+			tr, err := afdx.AnalyzeTrajectory(pg, trOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameTrajectoryResults(t, "figure2 trajectory", trRef, tr)
+		}
+	}
+}
+
+// TestIndustrialNCBitIdenticalParallel checks the rank-parallel NC
+// engine against the sequential one on the full seed-1 industrial
+// configuration (cheap enough to run under the race detector).
+func TestIndustrialNCBitIdenticalParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("industrial analysis is expensive")
+	}
+	net, err := afdx.Generate(afdx.DefaultGeneratorSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := afdx.DefaultNCOptions()
+	opts.Parallel = 1
+	seq, err := afdx.AnalyzeNC(pg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 8
+	par, err := afdx.AnalyzeNC(pg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameNCResults(t, "industrial NC", seq, par)
+}
+
+// TestSmallIndustrialTrajectoryBitIdenticalParallel checks the
+// path-parallel trajectory engine on a scaled-down generated industrial
+// configuration — small enough to stay fast under -race, where the full
+// configuration would dominate the test suite (the full-size run lives
+// in determinism_full_test.go behind the !race build tag).
+func TestSmallIndustrialTrajectoryBitIdenticalParallel(t *testing.T) {
+	spec := afdx.DefaultGeneratorSpec(1)
+	spec.NumVLs = 120
+	net, err := afdx.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := afdx.DefaultTrajectoryOptions()
+	opts.Parallel = 1
+	seq, err := afdx.AnalyzeTrajectory(pg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 8
+	par, err := afdx.AnalyzeTrajectory(pg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrajectoryResults(t, "small industrial trajectory", seq, par)
+}

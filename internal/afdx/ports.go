@@ -61,6 +61,37 @@ func (p *Port) InputGroups() map[string][]PortFlow {
 	return g
 }
 
+// InputGroup is one serialization group of a port: the flows arriving
+// through the same input link, in the port's VL-ID order.
+type InputGroup struct {
+	// Prev is the upstream node of the shared input link ("" for the
+	// flows emitted by the local end system, which are not serialized
+	// against each other).
+	Prev  string
+	Flows []PortFlow
+}
+
+// InputGroupsSorted returns the port's input groups sorted by input
+// node. The analyses iterate the groups while accumulating
+// floating-point arrival curves, and Go randomises map iteration order,
+// so consuming InputGroups directly makes the accumulated bounds
+// differ in the last bits from run to run; this accessor is the ordered
+// form every float-summing caller must use (the determinism contract of
+// DESIGN.md, "Concurrency and determinism").
+func (p *Port) InputGroupsSorted() []InputGroup {
+	byPrev := p.InputGroups()
+	keys := make([]string, 0, len(byPrev))
+	for k := range byPrev {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]InputGroup, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, InputGroup{Prev: k, Flows: byPrev[k]})
+	}
+	return out
+}
+
 // PortGraph is the derived analysable view of a Network: its output
 // ports, the path of each (VL, destination) pair expressed as a port
 // sequence, and a feed-forward (topological) order on ports.
@@ -194,6 +225,52 @@ func (pg *PortGraph) topoOrder() ([]PortID, error) {
 			len(order), len(pg.Ports))
 	}
 	return order, nil
+}
+
+// Ranks groups the ports into dependency ranks: rank 0 holds the ports
+// no other port feeds, and every port's upstream feeders sit in
+// strictly lower ranks (the rank is the longest feeder chain above the
+// port). Ports within one rank are mutually independent, so a holistic
+// analysis that has finished every rank below r may analyse all of
+// rank r's ports concurrently; ranks are returned in dependency order
+// and each rank is sorted canonically for deterministic scheduling.
+func (pg *PortGraph) Ranks() [][]PortID {
+	pred := map[PortID][]PortID{}
+	seen := map[[2]PortID]bool{}
+	for _, seq := range pg.paths {
+		for k := 0; k+1 < len(seq); k++ {
+			e := [2]PortID{seq[k], seq[k+1]}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			pred[seq[k+1]] = append(pred[seq[k+1]], seq[k])
+		}
+	}
+	// Order is topological, so every feeder's rank is known when its
+	// successor is visited.
+	rank := make(map[PortID]int, len(pg.Ports))
+	maxRank := 0
+	for _, id := range pg.Order {
+		r := 0
+		for _, q := range pred[id] {
+			if rank[q]+1 > r {
+				r = rank[q] + 1
+			}
+		}
+		rank[id] = r
+		if r > maxRank {
+			maxRank = r
+		}
+	}
+	out := make([][]PortID, maxRank+1)
+	for _, id := range pg.Order {
+		out[rank[id]] = append(out[rank[id]], id)
+	}
+	for _, ids := range out {
+		sortPortIDs(ids)
+	}
+	return out
 }
 
 func sortPortIDs(ids []PortID) {

@@ -39,6 +39,83 @@ func TestBuildPortGraphFigure2(t *testing.T) {
 	}
 }
 
+func TestInputGroupsSorted(t *testing.T) {
+	pg, err := BuildPortGraph(Figure2Config(), Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3e6 := pg.Ports[PortID{"S3", "e6"}]
+	groups := s3e6.InputGroupsSorted()
+	if len(groups) != 2 {
+		t.Fatalf("S3->e6 should have 2 sorted input groups, got %d", len(groups))
+	}
+	if groups[0].Prev != "S1" || groups[1].Prev != "S2" {
+		t.Fatalf("groups out of order: %q, %q", groups[0].Prev, groups[1].Prev)
+	}
+	// The flattened view must match the unsorted partition exactly.
+	byPrev := s3e6.InputGroups()
+	for _, g := range groups {
+		want := byPrev[g.Prev]
+		if len(g.Flows) != len(want) {
+			t.Fatalf("group %q has %d flows, want %d", g.Prev, len(g.Flows), len(want))
+		}
+		for i := range want {
+			if g.Flows[i].VL.ID != want[i].VL.ID {
+				t.Errorf("group %q flow %d = %s, want %s (VL-ID order must be preserved)",
+					g.Prev, i, g.Flows[i].VL.ID, want[i].VL.ID)
+			}
+		}
+	}
+	// Source ports have the single "" group.
+	src := pg.Ports[PortID{"e1", "S1"}].InputGroupsSorted()
+	if len(src) != 1 || src[0].Prev != "" {
+		t.Fatalf("source port groups = %+v, want one \"\" group", src)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	pg, err := BuildPortGraph(Figure2Config(), Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := pg.Ranks()
+	rankOf := map[PortID]int{}
+	count := 0
+	for r, ids := range ranks {
+		for i, id := range ids {
+			rankOf[id] = r
+			count++
+			if i > 0 {
+				prev := ids[i-1]
+				if prev.From > id.From || (prev.From == id.From && prev.To >= id.To) {
+					t.Errorf("rank %d not canonically sorted: %v before %v", r, prev, id)
+				}
+			}
+		}
+	}
+	if count != len(pg.Ports) {
+		t.Fatalf("ranks cover %d ports, want %d", count, len(pg.Ports))
+	}
+	// Every feeder edge must climb at least one rank.
+	for _, pid := range pg.Net.AllPaths() {
+		seq := pg.PathPorts(pid)
+		for k := 0; k+1 < len(seq); k++ {
+			if rankOf[seq[k]] >= rankOf[seq[k+1]] {
+				t.Errorf("path %v: feeder %v (rank %d) must be below %v (rank %d)",
+					pid, seq[k], rankOf[seq[k]], seq[k+1], rankOf[seq[k+1]])
+			}
+		}
+	}
+	// Figure 2: source ports are rank 0, S1->S3 / S2->S3 rank 1, the two
+	// S3 egress ports rank 2.
+	if len(ranks) != 3 {
+		t.Fatalf("figure 2 has 3 port ranks, got %d", len(ranks))
+	}
+	if rankOf[PortID{"S3", "e6"}] != 2 || rankOf[PortID{"S1", "S3"}] != 1 {
+		t.Errorf("unexpected ranks: %v", rankOf)
+	}
+}
+
 func TestPathPortsSequence(t *testing.T) {
 	pg, err := BuildPortGraph(Figure2Config(), Strict)
 	if err != nil {

@@ -90,7 +90,7 @@ func Ablations() ([]AblationRow, error) {
 	return rows, nil
 }
 
-func runAblation(w io.Writer, _ int64) error {
+func runAblation(w io.Writer, _ Config) error {
 	rows, err := Ablations()
 	if err != nil {
 		return err
@@ -156,7 +156,7 @@ func Pessimism() ([]PessimismRow, error) {
 	return rows, nil
 }
 
-func runPessimism(w io.Writer, _ int64) error {
+func runPessimism(w io.Writer, _ Config) error {
 	rows, err := Pessimism()
 	if err != nil {
 		return err

@@ -113,7 +113,7 @@ func TestIndustrialTableIShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("industrial comparison is expensive")
 	}
-	r, err := Industrial(1)
+	r, err := Industrial(Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestIndustrialFig5Fig6Shapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("industrial comparison is expensive")
 	}
-	r, err := Industrial(1)
+	r, err := Industrial(Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +178,11 @@ func TestIndustrialCacheIsStable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("industrial comparison is expensive")
 	}
-	a, err := Industrial(1)
+	a, err := Industrial(Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Industrial(1)
+	b, err := Industrial(Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestRegistryRunsAllExperiments(t *testing.T) {
 	for _, e := range All() {
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(&buf, 1); err != nil {
+			if err := e.Run(&buf, Config{Seed: 1}); err != nil {
 				t.Fatal(err)
 			}
 			if buf.Len() == 0 {
@@ -236,7 +236,7 @@ func TestByID(t *testing.T) {
 func TestFig7OutputMentionsCrossover(t *testing.T) {
 	e, _ := ByID("fig7")
 	var buf bytes.Buffer
-	if err := e.Run(&buf, 1); err != nil {
+	if err := e.Run(&buf, Config{Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "crossover") {
@@ -304,7 +304,7 @@ func TestDeadlineStudyOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("industrial comparison is expensive")
 	}
-	rep, err := DeadlineStudy(1)
+	rep, err := DeadlineStudy(Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +327,7 @@ func TestRobustnessAcrossSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multiple industrial comparisons are expensive")
 	}
-	rows, err := Robustness([]int64{1, 2})
+	rows, err := Robustness(Config{}, []int64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func TestPriorityStudyShape(t *testing.T) {
 }
 
 func TestScalingMonotonicity(t *testing.T) {
-	rows, err := Scaling(1, []int{50, 150})
+	rows, err := Scaling(Config{Seed: 1}, []int{50, 150})
 	if err != nil {
 		t.Fatal(err)
 	}

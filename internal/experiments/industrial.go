@@ -17,21 +17,42 @@ type IndustrialResult struct {
 	Comparison *core.Comparison
 }
 
+// industrialEntry is one seed's singleflight slot: the first caller
+// runs the generate+analyze, every concurrent caller with the same seed
+// waits on the same once, and callers with different seeds proceed
+// independently (the old implementation held one mutex across the whole
+// computation, serializing unrelated seeds behind each other).
+type industrialEntry struct {
+	once sync.Once
+	res  *IndustrialResult
+	err  error
+}
+
 var (
 	industrialMu    sync.Mutex
-	industrialCache = map[int64]*IndustrialResult{}
+	industrialCache = map[int64]*industrialEntry{}
 )
 
 // Industrial generates (or returns the cached) synthetic industrial
 // configuration for a seed and compares both methods over its >5000
-// paths. Generation and analysis are deterministic per seed.
-func Industrial(seed int64) (*IndustrialResult, error) {
+// paths. Generation and analysis are deterministic per seed (and per
+// the engines' reproducibility contract, independent of cfg.Parallel),
+// so the per-seed result is computed once and shared; the first
+// caller's worker-pool bound wins.
+func Industrial(cfg Config) (*IndustrialResult, error) {
 	industrialMu.Lock()
-	defer industrialMu.Unlock()
-	if r, ok := industrialCache[seed]; ok {
-		return r, nil
+	e := industrialCache[cfg.Seed]
+	if e == nil {
+		e = &industrialEntry{}
+		industrialCache[cfg.Seed] = e
 	}
-	net, err := configgen.Generate(configgen.DefaultSpec(seed))
+	industrialMu.Unlock()
+	e.once.Do(func() { e.res, e.err = buildIndustrial(cfg) })
+	return e.res, e.err
+}
+
+func buildIndustrial(cfg Config) (*IndustrialResult, error) {
+	net, err := configgen.Generate(configgen.DefaultSpec(cfg.Seed))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating industrial config: %w", err)
 	}
@@ -39,13 +60,12 @@ func Industrial(seed int64) (*IndustrialResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: industrial port graph: %w", err)
 	}
-	cmp, err := core.Compare(pg)
+	ncOpts, trOpts := cfg.engineOptions()
+	cmp, err := core.CompareWith(pg, ncOpts, trOpts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: industrial comparison: %w", err)
 	}
-	r := &IndustrialResult{Net: net, Graph: pg, Comparison: cmp}
-	industrialCache[seed] = r
-	return r, nil
+	return &IndustrialResult{Net: net, Graph: pg, Comparison: cmp}, nil
 }
 
 // PaperTableI holds the reference values of the paper's Table I. The

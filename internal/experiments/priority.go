@@ -74,7 +74,7 @@ func PriorityStudy() ([]PriorityRow, error) {
 	return rows, nil
 }
 
-func runPriority(w io.Writer, _ int64) error {
+func runPriority(w io.Writer, _ Config) error {
 	rows, err := PriorityStudy()
 	if err != nil {
 		return err

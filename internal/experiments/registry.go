@@ -5,14 +5,36 @@ import (
 	"io"
 	"sort"
 
+	"afdx/internal/netcalc"
 	"afdx/internal/report"
+	"afdx/internal/trajectory"
 )
+
+// Config parameterises one experiment run.
+type Config struct {
+	// Seed selects the synthetic industrial configuration (experiments
+	// on the fixed Figure 2 sample ignore it).
+	Seed int64
+	// Parallel bounds the analysis engines' worker pools (<= 0 selects
+	// GOMAXPROCS, 1 is strictly sequential). It affects wall time only:
+	// the engines' determinism contract makes every worker count
+	// produce bit-identical tables.
+	Parallel int
+}
+
+// engineOptions returns the paper-default engine options with the
+// run's worker-pool bound applied.
+func (cfg Config) engineOptions() (netcalc.Options, trajectory.Options) {
+	ncOpts, trOpts := netcalc.DefaultOptions(), trajectory.DefaultOptions()
+	ncOpts.Parallel, trOpts.Parallel = cfg.Parallel, cfg.Parallel
+	return ncOpts, trOpts
+}
 
 // Experiment is one regenerable table or figure of the paper.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(w io.Writer, seed int64) error
+	Run   func(w io.Writer, cfg Config) error
 }
 
 // All lists every experiment in paper order.
@@ -46,7 +68,7 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-func runFig3(w io.Writer, _ int64) error {
+func runFig3(w io.Writer, _ Config) error {
 	ung, grp, nc, err := ScenarioBounds()
 	if err != nil {
 		return err
@@ -60,7 +82,7 @@ func runFig3(w io.Writer, _ int64) error {
 	return nil
 }
 
-func runFig4(w io.Writer, _ int64) error {
+func runFig4(w io.Writer, _ Config) error {
 	ung, grp, nc, err := ScenarioBounds()
 	if err != nil {
 		return err
@@ -73,8 +95,8 @@ func runFig4(w io.Writer, _ int64) error {
 	return nil
 }
 
-func runTableI(w io.Writer, seed int64) error {
-	r, err := Industrial(seed)
+func runTableI(w io.Writer, cfg Config) error {
+	r, err := Industrial(cfg)
 	if err != nil {
 		return err
 	}
@@ -82,7 +104,7 @@ func runTableI(w io.Writer, seed int64) error {
 	p := PaperTableIReference()
 	st := r.Net.ComputeStats()
 	fmt.Fprintf(w, "Synthetic industrial configuration (seed %d): %d VLs, %d paths,\n",
-		seed, st.NumVLs, st.NumPaths)
+		cfg.Seed, st.NumVLs, st.NumPaths)
 	fmt.Fprintf(w, "%d end systems, %d switches (paper: ~1000 VLs, >6000 paths over two\nredundant sub-networks, >100 end systems, 2x8 switches).\n\n",
 		st.NumEndSystems, st.NumSwitches)
 	if err := report.Table(w,
@@ -102,8 +124,8 @@ func runTableI(w io.Writer, seed int64) error {
 	return nil
 }
 
-func runFig5(w io.Writer, seed int64) error {
-	r, err := Industrial(seed)
+func runFig5(w io.Writer, cfg Config) error {
+	r, err := Industrial(cfg)
 	if err != nil {
 		return err
 	}
@@ -119,8 +141,8 @@ func runFig5(w io.Writer, seed int64) error {
 	return report.Table(w, []string{"BAG (ms)", "paths", "mean benefit"}, rows)
 }
 
-func runFig6(w io.Writer, seed int64) error {
-	r, err := Industrial(seed)
+func runFig6(w io.Writer, cfg Config) error {
+	r, err := Industrial(cfg)
 	if err != nil {
 		return err
 	}
@@ -138,7 +160,7 @@ func runFig6(w io.Writer, seed int64) error {
 	return report.Table(w, []string{"s_max (B)", "paths", "WCNC wins", "mean benefit"}, rows)
 }
 
-func runFig7(w io.Writer, _ int64) error {
+func runFig7(w io.Writer, _ Config) error {
 	pts, err := SweepSmax()
 	if err != nil {
 		return err
@@ -154,7 +176,7 @@ func runFig7(w io.Writer, _ int64) error {
 	return report.Table(w, []string{"s_max (B)", "Trajectory (us)", "WCNC (us)"}, rows)
 }
 
-func runFig8(w io.Writer, _ int64) error {
+func runFig8(w io.Writer, _ Config) error {
 	pts, err := SweepBAG()
 	if err != nil {
 		return err
@@ -169,7 +191,7 @@ func runFig8(w io.Writer, _ int64) error {
 	return report.Table(w, []string{"BAG (ms)", "Trajectory (us)", "WCNC (us)"}, rows)
 }
 
-func runFig9(w io.Writer, _ int64) error {
+func runFig9(w io.Writer, _ Config) error {
 	cells, err := Surface()
 	if err != nil {
 		return err

@@ -16,11 +16,15 @@ type RobustnessRow struct {
 
 // Robustness re-runs the Table I comparison over several generator
 // seeds: the paper's qualitative claims must hold for every synthetic
-// configuration, not one lucky draw.
-func Robustness(seeds []int64) ([]RobustnessRow, error) {
+// configuration, not one lucky draw. Thanks to the per-seed
+// singleflight in Industrial, distinct seeds analyzed by concurrent
+// callers no longer serialize behind one global lock.
+func Robustness(cfg Config, seeds []int64) ([]RobustnessRow, error) {
 	var rows []RobustnessRow
 	for _, seed := range seeds {
-		r, err := Industrial(seed)
+		c := cfg
+		c.Seed = seed
+		r, err := Industrial(c)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
 		}
@@ -29,9 +33,9 @@ func Robustness(seeds []int64) ([]RobustnessRow, error) {
 	return rows, nil
 }
 
-func runRobustness(w io.Writer, seed int64) error {
-	seeds := []int64{seed, seed + 1, seed + 2}
-	rows, err := Robustness(seeds)
+func runRobustness(w io.Writer, cfg Config) error {
+	seeds := []int64{cfg.Seed, cfg.Seed + 1, cfg.Seed + 2}
+	rows, err := Robustness(cfg, seeds)
 	if err != nil {
 		return err
 	}
@@ -57,16 +61,16 @@ func runRobustness(w io.Writer, seed int64) error {
 // DeadlineStudy certifies every industrial path against the BAG-as-
 // deadline freshness rule and reports how many paths each method
 // certifies — the practical consequence of tighter bounds.
-func DeadlineStudy(seed int64) (core.DeadlineReport, error) {
-	r, err := Industrial(seed)
+func DeadlineStudy(cfg Config) (core.DeadlineReport, error) {
+	r, err := Industrial(cfg)
 	if err != nil {
 		return core.DeadlineReport{}, err
 	}
 	return r.Comparison.CheckDeadlines(nil, true), nil
 }
 
-func runDeadlines(w io.Writer, seed int64) error {
-	rep, err := DeadlineStudy(seed)
+func runDeadlines(w io.Writer, cfg Config) error {
+	rep, err := DeadlineStudy(cfg)
 	if err != nil {
 		return err
 	}

@@ -23,10 +23,11 @@ type ScalingRow struct {
 // Scaling runs the full comparison across configuration sizes, holding
 // the topology constant (the paper's 8 switches): how the engines and
 // the trajectory-benefit statistics behave as the network fills up.
-func Scaling(seed int64, sizes []int) ([]ScalingRow, error) {
+func Scaling(cfg Config, sizes []int) ([]ScalingRow, error) {
+	ncOpts, trOpts := cfg.engineOptions()
 	var rows []ScalingRow
 	for _, n := range sizes {
-		spec := configgen.DefaultSpec(seed)
+		spec := configgen.DefaultSpec(cfg.Seed)
 		spec.NumVLs = n
 		net, err := configgen.Generate(spec)
 		if err != nil {
@@ -37,7 +38,7 @@ func Scaling(seed int64, sizes []int) ([]ScalingRow, error) {
 			return nil, err
 		}
 		start := time.Now()
-		cmp, err := core.Compare(pg)
+		cmp, err := core.CompareWith(pg, ncOpts, trOpts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scaling %d VLs: %w", n, err)
 		}
@@ -53,8 +54,8 @@ func Scaling(seed int64, sizes []int) ([]ScalingRow, error) {
 	return rows, nil
 }
 
-func runScaling(w io.Writer, seed int64) error {
-	rows, err := Scaling(seed, []int{100, 250, 500, 1000})
+func runScaling(w io.Writer, cfg Config) error {
+	rows, err := Scaling(cfg, []int{100, 250, 500, 1000})
 	if err != nil {
 		return err
 	}

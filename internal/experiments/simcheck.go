@@ -73,7 +73,7 @@ func SimCheck(seeds int) (*SimCheckResult, error) {
 	return out, nil
 }
 
-func runSimCheck(w io.Writer, _ int64) error {
+func runSimCheck(w io.Writer, _ Config) error {
 	r, err := SimCheck(50)
 	if err != nil {
 		return err

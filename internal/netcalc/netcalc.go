@@ -19,6 +19,7 @@ import (
 	"afdx/internal/afdx"
 	"afdx/internal/lint"
 	"afdx/internal/minplus"
+	"afdx/internal/parallel"
 )
 
 // Options selects analysis variants.
@@ -42,6 +43,14 @@ type Options struct {
 	// busy periods span several BAGs. Zero keeps the paper's leaky
 	// buckets.
 	StairSteps int
+	// Parallel bounds the analysis worker pool: ports of the same
+	// dependency rank are analysed concurrently by at most this many
+	// goroutines (<= 0 selects GOMAXPROCS, 1 is strictly sequential).
+	// Every worker count produces bit-identical results: each port's
+	// bound is a pure function of its upstream ports' merged results,
+	// and worker results are merged in canonical port order (see
+	// DESIGN.md, "Concurrency and determinism").
+	Parallel int
 }
 
 // DefaultOptions returns the configuration matching the paper's WCNC
@@ -117,9 +126,35 @@ func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
 			}
 		}
 	}
-	for _, id := range pg.Order {
-		if err := analyzePort(pg, id, res); err != nil {
-			return nil, err
+	if workers := parallel.Workers(opts.Parallel); workers <= 1 {
+		// Sequential: ports in topological order, merged immediately.
+		for _, id := range pg.Order {
+			out, err := analyzePort(pg, id, res)
+			if err != nil {
+				return nil, err
+			}
+			res.merge(out)
+		}
+	} else {
+		// Parallel: ports of the same dependency rank are independent —
+		// each reads only results of strictly lower ranks, all merged
+		// before the rank starts — so a rank is a safe fan-out unit.
+		// Outcomes land indexed in a slice and merge in the rank's
+		// canonical order, keeping the Result maps free of concurrent
+		// writes and the run bit-identical to the sequential one.
+		for _, rank := range pg.Ranks() {
+			outs := make([]*portOutcome, len(rank))
+			err := parallel.ForEach(workers, len(rank), func(i int) error {
+				out, err := analyzePort(pg, rank[i], res)
+				outs[i] = out
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, out := range outs {
+				res.merge(out)
+			}
 		}
 	}
 	for _, pid := range pg.Net.AllPaths() {
@@ -162,32 +197,73 @@ func flowEnvelope(res *Result, vl *afdx.VirtualLink, port afdx.PortID) (minplus.
 	return minplus.Min(lb, stair), nil
 }
 
-func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) error {
+// flowWrite is one envelope propagation produced by a port analysis:
+// the analyzed flow's burst and accumulated prefix delay as it arrives
+// at a downstream port.
+type flowWrite struct {
+	key    FlowPortKey
+	burst  float64
+	prefix float64
+}
+
+// portOutcome is the complete effect of analysing one port: its bounds
+// plus the envelope propagations to downstream ports. analyzePort only
+// reads the Result it is given; applying an outcome is the separate,
+// single-writer merge step, which keeps the parallel engine free of
+// concurrent map access.
+type portOutcome struct {
+	id     afdx.PortID
+	port   PortResult
+	writes []flowWrite
+}
+
+// merge applies one port's outcome to the shared result. Writes are
+// conflict-free across ports (a VL enters every port from exactly one
+// upstream link), so merge order does not affect the stored values;
+// callers still merge in canonical port order so error-free runs are
+// reproducible step by step.
+func (r *Result) merge(out *portOutcome) {
+	r.Ports[out.id] = out.port
+	for _, w := range out.writes {
+		r.Bursts[w.key] = w.burst
+		r.PrefixDelays[w.key] = w.prefix
+	}
+}
+
+func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) (*portOutcome, error) {
 	port := pg.Ports[id]
 	beta := minplus.RateLatency(port.RateBitsPerUs, port.LatencyUs)
 
 	// Grouped aggregate arrival curve per priority level, plus the total
-	// for stability and backlog.
+	// for stability and backlog. Groups and levels are iterated in
+	// sorted order: the curve additions below accumulate floating-point
+	// error, so iteration order is part of the reproducibility contract.
 	levelAgg := map[int]minplus.Curve{}
 	levels := []int{}
 	rhoSum := 0.0
-	for prev, group := range port.InputGroups() {
+	for _, g := range port.InputGroupsSorted() {
 		// Grouping applies within a priority level: a link serializes
 		// all frames, but the shaping below feeds per-level residual
 		// services, so split the group by level first (conservative:
 		// cross-level serialization is not exploited).
 		byLevel := map[int][]afdx.PortFlow{}
-		for _, f := range group {
+		groupLevels := []int{}
+		for _, f := range g.Flows {
+			if _, ok := byLevel[f.VL.Priority]; !ok {
+				groupLevels = append(groupLevels, f.VL.Priority)
+			}
 			byLevel[f.VL.Priority] = append(byLevel[f.VL.Priority], f)
 			rhoSum += f.VL.RhoBitsPerUs()
 		}
-		for lvl, flows := range byLevel {
+		sort.Ints(groupLevels)
+		for _, lvl := range groupLevels {
+			flows := byLevel[lvl]
 			var members = minplus.Zero()
 			maxFrame := 0.0
 			for _, f := range flows {
 				env, err := flowEnvelope(res, f.VL, id)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				members = minplus.Add(members, env)
 				if s := f.VL.SMaxBits(); s > maxFrame {
@@ -195,13 +271,13 @@ func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) error {
 				}
 			}
 			groupEnv := members
-			if res.Opts.Grouping && prev != "" && len(flows) > 1 {
+			if res.Opts.Grouping && g.Prev != "" && len(flows) > 1 {
 				// Serialization on the shared input link: the group
 				// cannot burst faster than the link transmits, one
 				// largest frame ahead (the paper's leaky-bucket shaping
 				// with "a rate equal to the rate of the source" link).
 				inRate := port.RateBitsPerUs
-				if in := pg.Ports[afdx.PortID{From: prev, To: id.From}]; in != nil {
+				if in := pg.Ports[afdx.PortID{From: g.Prev, To: id.From}]; in != nil {
 					inRate = in.RateBitsPerUs
 				}
 				shaping := minplus.LeakyBucket(maxFrame, inRate)
@@ -243,12 +319,12 @@ func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) error {
 			var err error
 			residual, err = minplus.SubPos(beta, minplus.Add(higher, minplus.Plateau(blocking)))
 			if err != nil {
-				return fmt.Errorf("netcalc: port %s level %d residual service: %w", id, lvl, err)
+				return nil, fmt.Errorf("netcalc: port %s level %d residual service: %w", id, lvl, err)
 			}
 		}
 		delay := minplus.HorizontalDeviation(levelAgg[lvl], residual)
 		if math.IsInf(delay, 1) {
-			return fmt.Errorf("netcalc: port %s: unbounded delay at priority %d", id, lvl)
+			return nil, fmt.Errorf("netcalc: port %s: unbounded delay at priority %d", id, lvl)
 		}
 		delayByPrio[lvl] = delay
 		if delay > worst {
@@ -258,11 +334,14 @@ func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) error {
 		total = minplus.Add(total, levelAgg[lvl])
 	}
 	backlog := minplus.VerticalDeviation(total, beta)
-	res.Ports[id] = PortResult{
-		DelayUs:         worst,
-		DelayByPriority: delayByPrio,
-		BacklogBits:     backlog,
-		Utilization:     rhoSum / port.RateBitsPerUs,
+	out := &portOutcome{
+		id: id,
+		port: PortResult{
+			DelayUs:         worst,
+			DelayByPriority: delayByPrio,
+			BacklogBits:     backlog,
+			Utilization:     rhoSum / port.RateBitsPerUs,
+		},
 	}
 
 	// Propagate each flow's envelope to its next port(s) using its own
@@ -272,15 +351,17 @@ func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) error {
 		delay := delayByPrio[f.VL.Priority]
 		nextBurst, err := outputBurst(res, f.VL, id, delay)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, next := range nextPorts(pg, f.VL, id) {
-			nk := FlowPortKey{f.VL.ID, next}
-			res.Bursts[nk] = nextBurst
-			res.PrefixDelays[nk] = res.PrefixDelays[key] + delay
+			out.writes = append(out.writes, flowWrite{
+				key:    FlowPortKey{f.VL.ID, next},
+				burst:  nextBurst,
+				prefix: res.PrefixDelays[key] + delay,
+			})
 		}
 	}
-	return nil
+	return out, nil
 }
 
 // outputBurst computes the burst of a flow after it crosses a port whose

@@ -340,3 +340,96 @@ func TestExplainUnknownPathNC(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// comparePortResults requires two results to be bit-identical: same
+// ports, same per-priority delays, same propagated envelopes.
+func comparePortResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Ports) != len(b.Ports) {
+		t.Fatalf("%s: port count %d vs %d", label, len(a.Ports), len(b.Ports))
+	}
+	for id, pa := range a.Ports {
+		pb, ok := b.Ports[id]
+		if !ok {
+			t.Fatalf("%s: port %v missing", label, id)
+		}
+		if pa.DelayUs != pb.DelayUs || pa.BacklogBits != pb.BacklogBits || pa.Utilization != pb.Utilization {
+			t.Errorf("%s: port %v result differs: %+v vs %+v", label, id, pa, pb)
+		}
+		if len(pa.DelayByPriority) != len(pb.DelayByPriority) {
+			t.Fatalf("%s: port %v priority levels differ", label, id)
+		}
+		for lvl, d := range pa.DelayByPriority {
+			if pb.DelayByPriority[lvl] != d {
+				t.Errorf("%s: port %v level %d: %v vs %v", label, id, lvl, d, pb.DelayByPriority[lvl])
+			}
+		}
+	}
+	for pid, d := range a.PathDelays {
+		if b.PathDelays[pid] != d {
+			t.Errorf("%s: path %v: %v vs %v (must be bit-identical)", label, pid, d, b.PathDelays[pid])
+		}
+	}
+	for k, v := range a.Bursts {
+		if b.Bursts[k] != v {
+			t.Errorf("%s: burst %v: %v vs %v", label, k, v, b.Bursts[k])
+		}
+	}
+	for k, v := range a.PrefixDelays {
+		if b.PrefixDelays[k] != v {
+			t.Errorf("%s: prefix %v: %v vs %v", label, k, v, b.PrefixDelays[k])
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// The determinism contract: any worker count yields bit-identical
+	// results, on the FIFO sample and on the mixed-priority variant
+	// (which exercises the per-level accumulation order).
+	for _, cfg := range []struct {
+		name string
+		net  *afdx.Network
+	}{
+		{"figure2", afdx.Figure2Config()},
+		{"priority", priorityConfig()},
+	} {
+		pg, err := afdx.BuildPortGraph(cfg.net, afdx.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Parallel = 1
+		seq, err := Analyze(pg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Parallel = 8
+		par, err := Analyze(pg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePortResults(t, cfg.name, seq, par)
+	}
+}
+
+func TestRepeatedRunsBitIdentical(t *testing.T) {
+	// Regression for the map-iteration nondeterminism: analyzePort used
+	// to iterate InputGroups() and the per-level split in map order, so
+	// float accumulation differed run to run. N repeated runs must now
+	// agree to the last bit.
+	pg, err := afdx.BuildPortGraph(priorityConfig(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Analyze(pg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Analyze(pg, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePortResults(t, "repeat", first, again)
+	}
+}

@@ -1,0 +1,92 @@
+// Package parallel provides the bounded worker pool shared by the
+// analysis engines. Both delay analyses fan deterministic, independent
+// units of work (per-path trajectory bounds, same-rank port bounds) out
+// over a fixed number of goroutines; the callers index their work so
+// results land in a pre-sized slice and are merged in canonical order,
+// which is what makes the parallel analyses bit-identical to their
+// sequential runs (see DESIGN.md, "Concurrency and determinism").
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a worker-count option: values <= 0 select
+// GOMAXPROCS (use every available core), everything else is taken
+// as-is. 1 means strictly sequential execution on the calling
+// goroutine.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (after Workers normalisation) and returns the error of the
+// lowest failing index, or nil.
+//
+// The contract mirrors a sequential loop exactly:
+//
+//   - with workers == 1 (or n <= 1) everything runs on the calling
+//     goroutine, in index order, stopping at the first error;
+//   - with workers > 1, indices are claimed in ascending order, every
+//     index below a failing one is still evaluated, and the error
+//     returned is the one the sequential loop would have hit first.
+//
+// Indices strictly above the lowest known failure are skipped (their
+// results would be discarded anyway), so an early error does not cost a
+// full sweep.
+func ForEach(workers, n int, fn func(i int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Int64
+		errs     = make([]error, n)
+		wg       sync.WaitGroup
+	)
+	firstErr.Store(int64(n))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) || i > firstErr.Load() {
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					errs[i] = err
+					// Lower the first-failure watermark (CAS loop: another
+					// worker may have failed at a smaller index meanwhile).
+					for {
+						cur := firstErr.Load()
+						if i >= cur || firstErr.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 100} {
+		const n = 57
+		hits := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d evaluated %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Indices 11 and 29 fail; every worker count must surface index 11's
+	// error — the one a sequential loop would hit first.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 40, func(i int) error {
+			if i == 11 || i == 29 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 11" {
+			t.Fatalf("workers=%d: got error %v, want boom at 11", workers, err)
+		}
+	}
+}
+
+func TestForEachSequentialStopsAtFirstError(t *testing.T) {
+	calls := 0
+	err := ForEach(1, 10, func(i int) error {
+		calls++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("sequential: err=%v calls=%d, want error after 4 calls", err, calls)
+	}
+}

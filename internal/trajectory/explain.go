@@ -59,7 +59,7 @@ func Explain(pg *afdx.PortGraph, pid afdx.PathID, opts Options) (*Explanation, e
 	}
 	vl := pg.Net.VL(pid.VL)
 	ports := pg.PathPorts(pid)
-	inter, err := a.interferenceSet(vl, ports)
+	inter, err := a.interferenceSet(vl, ports, nil)
 	if err != nil {
 		return nil, err
 	}

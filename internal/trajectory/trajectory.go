@@ -36,10 +36,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"afdx/internal/afdx"
 	"afdx/internal/lint"
 	"afdx/internal/netcalc"
+	"afdx/internal/parallel"
 )
 
 // PrefixMode selects how the latest arrival time Smax_j at a meeting port
@@ -75,6 +77,14 @@ type Options struct {
 	SharedTransition bool
 	// PrefixMode selects the Smax bound (see PrefixMode).
 	PrefixMode PrefixMode
+	// Parallel bounds the analysis worker pool: paths are analysed
+	// concurrently by at most this many goroutines (<= 0 selects
+	// GOMAXPROCS, 1 is strictly sequential). Every worker count
+	// produces bit-identical results: each path's bound is a pure
+	// function of the configuration and the shared prefix bounds, and
+	// worker results merge in canonical path order (see DESIGN.md,
+	// "Concurrency and determinism").
+	Parallel int
 }
 
 // DefaultOptions matches the paper's "Trajectory approach" column:
@@ -107,16 +117,45 @@ func (r *Result) PathDelay(id afdx.PathID) (float64, error) {
 	return d, nil
 }
 
-// analyzer carries the shared state of one Analyze run.
+// prefixCache memoizes recursive prefix response times: the latest
+// departure of a VL from a given port (PrefixTrajectory mode). It is
+// safe for concurrent use by the per-path workers; a value may be
+// computed twice under contention (both computations are the same pure
+// function, so whichever lands is bit-identical), which keeps readers
+// from blocking on each other and cannot deadlock on cyclic
+// dependencies. Cycle detection is NOT the cache's job: recursion
+// tracks its own call chain in a per-goroutine visiting set (see sMax),
+// because a shared in-progress map would misread another worker's
+// ongoing computation as a cycle.
+type prefixCache struct {
+	mu  sync.RWMutex
+	val map[netcalc.FlowPortKey]float64
+}
+
+func (c *prefixCache) get(k netcalc.FlowPortKey) (float64, bool) {
+	c.mu.RLock()
+	v, ok := c.val[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *prefixCache) put(k netcalc.FlowPortKey, v float64) {
+	c.mu.Lock()
+	c.val[k] = v
+	c.mu.Unlock()
+}
+
+// analyzer carries the shared state of one Analyze run. After
+// newAnalyzer returns, everything except the prefix cache is read-only,
+// so the per-path workers of Analyze share one analyzer.
 type analyzer struct {
 	pg   *afdx.PortGraph
 	opts Options
 	// ncPrefix holds the NC prefix delays when PrefixMode == PrefixNC.
 	ncPrefix map[netcalc.FlowPortKey]float64
-	// trajPrefix memoizes recursive prefix response times: latest
-	// departure of a VL from a given port (PrefixTrajectory mode).
-	trajPrefix map[netcalc.FlowPortKey]float64
-	inProgress map[netcalc.FlowPortKey]bool
+	// trajPrefix caches recursive prefix response times
+	// (PrefixTrajectory mode).
+	trajPrefix prefixCache
 }
 
 // newAnalyzer validates the configuration for trajectory analysis and
@@ -125,8 +164,7 @@ func newAnalyzer(pg *afdx.PortGraph, opts Options) (*analyzer, error) {
 	a := &analyzer{
 		pg:         pg,
 		opts:       opts,
-		trajPrefix: map[netcalc.FlowPortKey]float64{},
-		inProgress: map[netcalc.FlowPortKey]bool{},
+		trajPrefix: prefixCache{val: map[netcalc.FlowPortKey]float64{}},
 	}
 	// Shared stability pre-flight (lint diagnostic AFDX001), consuming
 	// PortGraph.UtilizationReport exactly as the Network Calculus engine
@@ -148,7 +186,9 @@ func newAnalyzer(pg *afdx.PortGraph, opts Options) (*analyzer, error) {
 		}
 	}
 	if opts.PrefixMode == PrefixNC {
-		nc, err := netcalc.Analyze(pg, netcalc.DefaultOptions())
+		ncOpts := netcalc.DefaultOptions()
+		ncOpts.Parallel = opts.Parallel
+		nc, err := netcalc.Analyze(pg, ncOpts)
 		if err != nil {
 			return nil, fmt.Errorf("trajectory: computing NC prefix bounds: %w", err)
 		}
@@ -158,6 +198,11 @@ func newAnalyzer(pg *afdx.PortGraph, opts Options) (*analyzer, error) {
 }
 
 // Analyze runs the Trajectory analysis over a feed-forward port graph.
+// Paths are independent analysis units, so they fan out over the
+// bounded worker pool (Options.Parallel); results land indexed in the
+// canonical path order and merge into the Result maps on the calling
+// goroutine, which keeps every worker count bit-identical to the
+// sequential run.
 func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
 	a, err := newAnalyzer(pg, opts)
 	if err != nil {
@@ -168,13 +213,19 @@ func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
 		PathDelays: map[afdx.PathID]float64{},
 		Details:    map[afdx.PathID]PathDetail{},
 	}
-	for _, pid := range pg.Net.AllPaths() {
-		det, err := a.analyzePath(pid)
-		if err != nil {
-			return nil, err
-		}
-		res.PathDelays[pid] = det.DelayUs
-		res.Details[pid] = det
+	paths := pg.Net.AllPaths()
+	dets := make([]PathDetail, len(paths))
+	err = parallel.ForEach(opts.Parallel, len(paths), func(i int) error {
+		det, err := a.analyzePath(paths[i])
+		dets[i] = det
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pid := range paths {
+		res.PathDelays[pid] = dets[i].DelayUs
+		res.Details[pid] = dets[i]
 	}
 	return res, nil
 }
@@ -198,13 +249,16 @@ func (a *analyzer) analyzePath(pid afdx.PathID) (PathDetail, error) {
 	if len(ports) == 0 || vl == nil {
 		return PathDetail{}, fmt.Errorf("trajectory: unknown path %v", pid)
 	}
-	return a.analyzePortSeq(vl, ports)
+	return a.analyzePortSeq(vl, ports, nil)
 }
 
 // analyzePortSeq bounds the latest complete transmission of a frame of vl
 // over the given (prefix of its) port sequence, relative to its emission.
-func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID) (PathDetail, error) {
-	inter, err := a.interferenceSet(vl, ports)
+// visiting is the per-goroutine set of (VL, port) prefix computations on
+// the current recursion chain (PrefixTrajectory cycle detection); nil at
+// a recursion root.
+func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID, visiting map[netcalc.FlowPortKey]bool) (PathDetail, error) {
+	inter, err := a.interferenceSet(vl, ports, visiting)
 	if err != nil {
 		return PathDetail{}, err
 	}
@@ -257,7 +311,7 @@ func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID) (Pa
 // interferenceSet builds the interferer list of a path: every VL sharing
 // at least one of its ports (including the analyzed VL itself), with the
 // first shared port, the input link there, and the window alignment A_ij.
-func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID) ([]interferer, error) {
+func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID, visiting map[netcalc.FlowPortKey]bool) ([]interferer, error) {
 	// Minimum arrival times of the analyzed flow at each of its ports
 	// (per-port rates: real configurations mix link speeds).
 	sMin := make(map[afdx.PortID]float64, len(ports))
@@ -280,7 +334,7 @@ func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID) ([
 				}
 				continue
 			}
-			sMaxJ, err := a.sMax(f.VL, h)
+			sMaxJ, err := a.sMax(f.VL, h, visiting)
 			if err != nil {
 				return nil, err
 			}
@@ -306,8 +360,12 @@ func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID) ([
 }
 
 // sMax bounds the latest arrival time of a frame of vl at the given port,
-// relative to its emission (0 at the flow's source port).
-func (a *analyzer) sMax(vl *afdx.VirtualLink, port afdx.PortID) (float64, error) {
+// relative to its emission (0 at the flow's source port). In
+// PrefixTrajectory mode the recursive computation is memoized in the
+// shared prefix cache; visiting is this goroutine's recursion chain and
+// detects cyclic prefix dependencies without mistaking another worker's
+// in-flight computation for one.
+func (a *analyzer) sMax(vl *afdx.VirtualLink, port afdx.PortID, visiting map[netcalc.FlowPortKey]bool) (float64, error) {
 	key := netcalc.FlowPortKey{VL: vl.ID, Port: port}
 	if a.opts.PrefixMode == PrefixNC {
 		d, ok := a.ncPrefix[key]
@@ -316,24 +374,27 @@ func (a *analyzer) sMax(vl *afdx.VirtualLink, port afdx.PortID) (float64, error)
 		}
 		return d, nil
 	}
-	if d, ok := a.trajPrefix[key]; ok {
+	if d, ok := a.trajPrefix.get(key); ok {
 		return d, nil
 	}
-	if a.inProgress[key] {
+	if visiting[key] {
 		return 0, fmt.Errorf("trajectory: cyclic prefix dependency at VL %s port %s", vl.ID, port)
 	}
 	prefix := a.prefixPorts(vl, port)
 	if len(prefix) == 0 {
-		a.trajPrefix[key] = 0
+		a.trajPrefix.put(key, 0)
 		return 0, nil
 	}
-	a.inProgress[key] = true
-	det, err := a.analyzePortSeq(vl, prefix)
-	delete(a.inProgress, key)
+	if visiting == nil {
+		visiting = map[netcalc.FlowPortKey]bool{}
+	}
+	visiting[key] = true
+	det, err := a.analyzePortSeq(vl, prefix, visiting)
+	delete(visiting, key)
 	if err != nil {
 		return 0, err
 	}
-	a.trajPrefix[key] = det.DelayUs
+	a.trajPrefix.put(key, det.DelayUs)
 	return det.DelayUs, nil
 }
 
@@ -385,8 +446,30 @@ func (a *analyzer) maxSharedFrameTime(prev, next afdx.PortID) float64 {
 // sourceBusyPeriod bounds the length of the busy period of the analyzed
 // flow's source port (the range of the emission offset t) as the least
 // fixpoint of the port's workload function.
+//
+// Feasibility is decided up front by remaining-capacity math: the
+// workload is bounded by the linear envelope w(b) <= sumC + U*b with
+// U the port utilization, so for U < 1 the least fixpoint sits below
+// sumC/(1-U), while U >= 1 has no fixpoint at all and fails
+// immediately (no iteration budget is burned discovering divergence).
+// The fixpoint iteration itself is exact — it returns the same least
+// fixpoint as a step-by-step scan — and terminates within the frame
+// capacity of that bound: every non-final round queues at least one
+// more whole frame, so rounds are capped by (bMax - w(0)) / minC.
 func (a *analyzer) sourceBusyPeriod(vl *afdx.VirtualLink, src afdx.PortID, inter []interferer) (float64, error) {
 	port := a.pg.Ports[src]
+	sumC, minC, util := 0.0, math.Inf(1), 0.0
+	for _, f := range port.Flows {
+		c := f.VL.CMaxUs(port.RateBitsPerUs)
+		sumC += c
+		if c < minC {
+			minC = c
+		}
+		util += c / f.VL.BAGUs()
+	}
+	if util >= 1-1e-12 {
+		return 0, fmt.Errorf("trajectory: busy period of port %s does not converge (port utilization %.9g >= 1)", src, util)
+	}
 	work := func(b float64) float64 {
 		w := 0.0
 		for _, f := range port.Flows {
@@ -395,14 +478,16 @@ func (a *analyzer) sourceBusyPeriod(vl *afdx.VirtualLink, src afdx.PortID, inter
 		return w
 	}
 	b := work(0)
-	for iter := 0; iter < 1_000_000; iter++ {
+	bMax := sumC / (1 - util)
+	maxIter := int((bMax-b)/minC) + 2
+	for iter := 0; iter < maxIter; iter++ {
 		nb := work(b)
 		if nb <= b+1e-9 {
 			return nb, nil
 		}
 		b = nb
 	}
-	return 0, fmt.Errorf("trajectory: busy period of port %s does not converge (utilization too close to 1)", src)
+	return 0, fmt.Errorf("trajectory: busy period of port %s exceeded its capacity bound %.3f us (numerical non-convergence)", src, bMax)
 }
 
 // frameCount is N(x) = 1 + floor(max(0,x) / T): the maximum number of

@@ -596,3 +596,111 @@ func TestBusyPeriodSpansMultipleBAGs(t *testing.T) {
 		t.Errorf("bound = %g, want 288", got)
 	}
 }
+
+func TestBusyPeriodAtFullUtilizationFailsFast(t *testing.T) {
+	// A source port loaded to exactly 1.0 utilization passes the shared
+	// stability pre-flight (which rejects only utilization > 1) but has
+	// no finite busy period. The remaining-capacity check must return
+	// the infeasibility error immediately instead of burning a huge
+	// iteration budget discovering the divergence.
+	n := &afdx.Network{
+		Name:       "full-util",
+		Params:     afdx.DefaultParams(),
+		EndSystems: []string{"src", "dst"},
+		Switches:   []string{"SW"},
+	}
+	// 10 VLs * 1250 B / 1 ms = 100 bits/us = exactly the link rate.
+	for i := 0; i < 10; i++ {
+		n.VLs = append(n.VLs, &afdx.VirtualLink{
+			ID: fmt.Sprintf("u%02d", i), Source: "src",
+			BAGMs: 1, SMaxBytes: 1250, SMinBytes: 64,
+			Paths: [][]string{{"src", "SW", "dst"}},
+		})
+	}
+	pg, err := afdx.BuildPortGraph(n, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Analyze(pg, DefaultOptions())
+	if err == nil {
+		t.Fatal("expected busy-period infeasibility at utilization 1.0")
+	}
+	if !strings.Contains(err.Error(), "does not converge") {
+		t.Errorf("error should name the documented non-convergence, got: %v", err)
+	}
+}
+
+func TestBusyPeriodHighUtilizationConverges(t *testing.T) {
+	// 97.4% source-port utilization with a busy period spanning many
+	// 1 ms BAGs: the fixpoint iteration must still converge (bounded by
+	// the remaining-capacity frame count, not a flat iteration cap).
+	n := &afdx.Network{
+		Name:       "high-util",
+		Params:     afdx.DefaultParams(),
+		EndSystems: []string{"src", "dst"},
+		Switches:   []string{"SW"},
+	}
+	for i := 0; i < 8; i++ {
+		n.VLs = append(n.VLs, &afdx.VirtualLink{
+			ID: fmt.Sprintf("f%02d", i), Source: "src",
+			BAGMs: 1, SMaxBytes: 1518, SMinBytes: 64,
+			Paths: [][]string{{"src", "SW", "dst"}},
+		})
+	}
+	for i := 0; i < 3; i++ {
+		n.VLs = append(n.VLs, &afdx.VirtualLink{
+			ID: fmt.Sprintf("s%02d", i), Source: "src",
+			BAGMs: 128, SMaxBytes: 1518, SMinBytes: 64,
+			Paths: [][]string{{"src", "SW", "dst"}},
+		})
+	}
+	pg, err := afdx.BuildPortGraph(n, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(pg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := res.Details[afdx.PathID{VL: "f00", PathIdx: 0}]
+	if det.BusyPeriodUs <= 1000 {
+		t.Errorf("busy period = %g us, expected to span several 1 ms BAGs", det.BusyPeriodUs)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// The determinism contract: any worker count yields bit-identical
+	// bounds. Exercised here in both prefix modes (PrefixTrajectory
+	// stresses the concurrent prefix cache).
+	pg := figure2Graph(t)
+	for _, mode := range []PrefixMode{PrefixNC, PrefixTrajectory} {
+		opts := DefaultOptions()
+		opts.PrefixMode = mode
+		opts.Parallel = 1
+		seq, err := Analyze(pg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Parallel = 8
+		par, err := Analyze(pg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.PathDelays) != len(par.PathDelays) {
+			t.Fatalf("mode %v: path count %d vs %d", mode, len(seq.PathDelays), len(par.PathDelays))
+		}
+		for pid, d := range seq.PathDelays {
+			if pd, ok := par.PathDelays[pid]; !ok || pd != d {
+				t.Errorf("mode %v: path %v sequential %v parallel %v (must be bit-identical)", mode, pid, d, pd)
+			}
+		}
+		if len(seq.Details) != len(par.Details) {
+			t.Fatalf("mode %v: detail count differs", mode)
+		}
+		for pid, det := range seq.Details {
+			if par.Details[pid] != det {
+				t.Errorf("mode %v: path %v details differ: %+v vs %+v", mode, pid, det, par.Details[pid])
+			}
+		}
+	}
+}
