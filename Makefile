@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the expanded verification
 # gate (build, gofmt, vet, tests, race detector); see check.sh.
 
-.PHONY: build test check lint fmt bench
+.PHONY: build test check lint fmt bench bench-pr3 conformance fuzz-smoke
 
 build:
 	go build ./...
@@ -27,3 +27,22 @@ fmt:
 bench:
 	go test -run '^$$' -bench 'Industrial(Seq|Par)$$' -benchtime 2x . \
 		| tee /dev/stderr | go run ./cmd/afdx-benchjson > BENCH_PR2.json
+
+# Time the conformance oracle sequentially and parallel (one op = a
+# 16-config campaign; the verdicts are identical either way, so the
+# ratio is pure wall time) and record ns/op, configs/s and the speedup
+# in BENCH_PR3.json.
+bench-pr3:
+	go test -run '^$$' -bench 'ConformanceOracle(Seq|Par)$$' -benchtime 3x ./internal/conformance \
+		| tee /dev/stderr | go run ./cmd/afdx-benchjson > BENCH_PR3.json
+
+# Cross-engine differential campaign: deterministic family, full
+# invariant lattice, shrunk reproductions land in the replay corpus.
+conformance:
+	go run ./cmd/afdx-conformance -n 500 -seed 1 -corpus internal/conformance/testdata
+
+# Run every native fuzz target for ~10s (the smoke tier; longer runs
+# are a manual `go test -fuzz=... -fuzztime=10m` away).
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzReadJSON$$' -fuzztime 10s ./internal/afdx
+	go test -run '^$$' -fuzz '^FuzzConformanceConfig$$' -fuzztime 10s ./internal/conformance

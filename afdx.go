@@ -15,7 +15,12 @@
 //     the paper's primary contribution;
 //   - a discrete-event simulator producing achievable delays;
 //   - a generator of synthetic industrial-scale configurations matching
-//     the published statistics of the (proprietary) Airbus network.
+//     the published statistics of the (proprietary) Airbus network;
+//   - a cross-engine conformance oracle that generates configuration
+//     families and asserts the invariant lattice relating all of the
+//     above (simulated ≤ achievable ≤ analytic bounds, combined =
+//     per-path minimum, refinements never loosen), with a shrinker
+//     that minimises violations into a replay corpus.
 //
 // # Quick start
 //
@@ -33,6 +38,7 @@ import (
 
 	iafdx "afdx/internal/afdx"
 	"afdx/internal/configgen"
+	"afdx/internal/conformance"
 	"afdx/internal/core"
 	"afdx/internal/diag"
 	"afdx/internal/exact"
@@ -249,6 +255,38 @@ func Generate(spec GeneratorSpec) (*Network, error) { return configgen.Generate(
 // Mirror materialises the ARINC 664 dual-network (A/B) redundancy of a
 // configuration: two isomorphic sub-networks, every VL duplicated.
 func Mirror(n *Network) (*Network, error) { return configgen.Mirror(n) }
+
+// Cross-engine conformance oracle (randomized differential testing).
+type (
+	// ConformanceOptions parameterises a conformance campaign.
+	ConformanceOptions = conformance.Options
+	// ConformanceReport is the deterministic campaign outcome.
+	ConformanceReport = conformance.Report
+	// ConformanceOracle checks the invariant lattice on one
+	// configuration, with injectable engines for fault-injection tests.
+	ConformanceOracle = conformance.Oracle
+	// ConformanceViolation is one failed invariant on one path.
+	ConformanceViolation = conformance.Violation
+	// ConformanceInvariant names one relation of the invariant lattice.
+	ConformanceInvariant = conformance.Invariant
+)
+
+// DefaultConformanceOptions checks 100 configurations from seed 1.
+func DefaultConformanceOptions() ConformanceOptions { return conformance.DefaultOptions() }
+
+// RunConformance executes a conformance campaign: generate
+// configurations, run every engine on each, assert the invariant
+// lattice (observed ≤ achievable ≤ analytic bounds, combined = per-path
+// minimum, grouping and contract tightening never loosen a bound,
+// parallel runs bit-identical to sequential), and shrink violations to
+// minimal reproducing configurations.
+func RunConformance(opts ConformanceOptions) (*ConformanceReport, error) {
+	return conformance.Run(opts)
+}
+
+// NewConformanceOracle returns the invariant checker over the real
+// engines with default budgets.
+func NewConformanceOracle() *ConformanceOracle { return conformance.NewOracle() }
 
 // Exact worst-case search (offset exploration; small configurations).
 type (

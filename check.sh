@@ -7,6 +7,9 @@
 #   3. go vet ./...          (static analysis of the Go code itself)
 #   4. go test ./...         (tier-1: the full test suite)
 #   5. go test -race ./...   (the suite again under the race detector)
+#   6. afdx-conformance      (short cross-engine differential campaign,
+#                             deterministic seed, wall-time budgeted)
+#   7. fuzz smoke            (each native fuzz target for a few seconds)
 #
 # Usage: ./check.sh        (or: make check)
 set -eu
@@ -31,5 +34,12 @@ go test ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== conformance oracle (short campaign, deterministic)"
+go run ./cmd/afdx-conformance -n 150 -seed 1 -budget 45s -quiet
+
+echo "== fuzz smoke (5s per target)"
+go test -run '^$' -fuzz '^FuzzReadJSON$' -fuzztime 5s ./internal/afdx
+go test -run '^$' -fuzz '^FuzzConformanceConfig$' -fuzztime 5s ./internal/conformance
 
 echo "check.sh: all gates passed"

@@ -5,9 +5,11 @@ package afdx_test
 // combinations against a real configuration file.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -19,7 +21,7 @@ var (
 	cliOnce  sync.Once
 	cliDir   string
 	cliErr   error
-	cliTools = []string{"afdx-gen", "afdx-lint", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact"}
+	cliTools = []string{"afdx-gen", "afdx-lint", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact", "afdx-conformance"}
 )
 
 // buildCLIs compiles every command once per test binary invocation.
@@ -188,6 +190,74 @@ func TestCLILintExitCodes(t *testing.T) {
 	out, _ = cmd.CombinedOutput()
 	if code := cmd.ProcessState.ExitCode(); code != 1 {
 		t.Errorf("bounds -no-lint on an unstable config: exit %d (engine failure), want 1\n%s", code, out)
+	}
+}
+
+// TestCLIConformance drives the conformance oracle end to end: a clean
+// run exits 0, the JSON report carries deterministic verdicts across
+// -parallel values (flag parity with the other binaries), and the
+// injected-fault self-test exits 1 with a shrunk reproduction.
+func TestCLIConformance(t *testing.T) {
+	dir := buildCLIs(t)
+	out := runCLI(t, dir, "afdx-conformance", "-n", "6", "-seed", "9")
+	if !strings.Contains(out, "0 violation(s)") || !strings.Contains(out, "checked 6/6") {
+		t.Errorf("clean campaign summary malformed:\n%s", out)
+	}
+
+	seq := runCLI(t, dir, "afdx-conformance", "-n", "6", "-seed", "9", "-parallel", "1", "-json")
+	par := runCLI(t, dir, "afdx-conformance", "-n", "6", "-seed", "9", "-parallel", "4", "-json")
+	var repSeq, repPar afdx.ConformanceReport
+	if err := json.Unmarshal([]byte(seq), &repSeq); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, seq)
+	}
+	if err := json.Unmarshal([]byte(par), &repPar); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, par)
+	}
+	if !reflect.DeepEqual(repSeq.Verdicts, repPar.Verdicts) {
+		t.Errorf("-parallel 1 and -parallel 4 verdicts differ:\n%s\nvs\n%s", seq, par)
+	}
+	if repSeq.Checked != 6 || !repSeq.Clean() {
+		t.Errorf("unexpected JSON report: %+v", repSeq)
+	}
+}
+
+// TestCLIConformanceExitCodes pins the 0/1/2 contract: 0 clean
+// (TestCLIConformance), 1 on invariant violations, 2 on bad flags.
+func TestCLIConformanceExitCodes(t *testing.T) {
+	dir := buildCLIs(t)
+	corpus := t.TempDir()
+	cmd := exec.Command(filepath.Join(dir, "afdx-conformance"),
+		"-n", "4", "-seed", "1", "-fault", "nc-optimistic", "-quiet", "-corpus", corpus)
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Errorf("faulty engine campaign: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "sim-vs-nc") {
+		t.Errorf("violation summary does not name the invariant:\n%s", out)
+	}
+	shrunk, err := filepath.Glob(filepath.Join(corpus, "*.json"))
+	if err != nil || len(shrunk) == 0 {
+		t.Fatalf("no shrunk reproductions written to -corpus (%v)", err)
+	}
+	net, err := afdx.LoadJSON(shrunk[0], afdx.Strict)
+	if err != nil {
+		t.Fatalf("shrunk reproduction does not load: %v", err)
+	}
+	if n := len(net.VLs); n > 5 {
+		t.Errorf("shrunk reproduction has %d VLs, want <= 5", n)
+	}
+
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-fault", "bogus"},
+		{"-no-such-flag"},
+		{"-n", "1", "stray-positional"},
+	} {
+		cmd := exec.Command(filepath.Join(dir, "afdx-conformance"), args...)
+		out, _ := cmd.CombinedOutput()
+		if code := cmd.ProcessState.ExitCode(); code != 2 {
+			t.Errorf("afdx-conformance %v: exit %d, want 2\n%s", args, code, out)
+		}
 	}
 }
 

@@ -1,0 +1,40 @@
+package conformance
+
+import (
+	"path/filepath"
+	"testing"
+
+	"afdx/internal/afdx"
+)
+
+// TestReplayCorpus re-runs the full invariant lattice over every
+// configuration in testdata/: the replay corpus of shrunk reproductions
+// and distilled regressions. A configuration lands here because it once
+// exposed a bug (or pins one fixed before the corpus existed), so every
+// entry must stay lattice-clean forever — this test is what turns a
+// one-off campaign catch into a permanent go-test regression.
+func TestReplayCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("replay corpus is empty — testdata/*.json should hold at least the PR 2 regressions")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			net, err := afdx.LoadJSON(f, afdx.Strict)
+			if err != nil {
+				t.Fatalf("corpus entry does not load: %v", err)
+			}
+			vs, err := NewOracle().Check(net)
+			if err != nil {
+				t.Fatalf("corpus entry is not analysable: %v", err)
+			}
+			for _, v := range vs {
+				t.Errorf("violation: %s", v)
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package conformance
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"afdx/internal/afdx"
+)
+
+// FuzzConformanceConfig fuzzes the invariant lattice over the
+// configuration codec: any byte string that decodes and validates as a
+// small, analysable AFDX configuration must satisfy every invariant the
+// oracle checks. Seed inputs come from the lint golden corpus and the
+// conformance replay corpus, so the fuzzer starts from realistic
+// configurations and mutates toward the engines' edge cases.
+//
+// Size gates keep one fuzz execution cheap (the oracle runs every
+// engine several times per input); over-budget inputs are skipped, not
+// failed — coverage of large configurations is the campaign's job.
+func FuzzConformanceConfig(f *testing.F) {
+	for _, dir := range []string{filepath.Join("..", "lint", "testdata"), "testdata"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".json") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(data))
+		}
+	}
+
+	oracle := NewOracle()
+	oracle.MaxExactVLs = 0 // the exponential tier has no place in a fuzz body
+
+	f.Fuzz(func(t *testing.T, data string) {
+		net, err := afdx.ReadJSON(strings.NewReader(data), afdx.Strict)
+		if err != nil {
+			return // not a valid configuration: the codec fuzzer's domain
+		}
+		if !analysableUnderFuzzBudget(net) {
+			return
+		}
+		vs, err := oracle.Check(net)
+		if err != nil {
+			return // engines rejected it coherently (e.g. unstable): fine
+		}
+		for _, v := range vs {
+			t.Errorf("invariant violated: %s", v)
+		}
+	})
+}
+
+// analysableUnderFuzzBudget gates fuzz inputs to configurations every
+// engine analyses in well under a millisecond-scale budget.
+func analysableUnderFuzzBudget(net *afdx.Network) bool {
+	st := net.ComputeStats()
+	if st.NumVLs < 1 || st.NumVLs > 6 || st.NumPaths > 12 {
+		return false
+	}
+	if st.NumEndSystems+st.NumSwitches > 24 {
+		return false
+	}
+	for _, v := range net.VLs {
+		if v.BAGMs > 32 { // simulation horizon is a few max-BAG periods
+			return false
+		}
+	}
+	if net.Params.LinkRateMbps < 1 || net.Params.LinkRateMbps > 1000 {
+		return false
+	}
+	if net.Params.SwitchLatencyUs < 0 || net.Params.SwitchLatencyUs > 1000 ||
+		net.Params.SourceLatencyUs < 0 || net.Params.SourceLatencyUs > 1000 {
+		return false
+	}
+	for _, lr := range net.LinkRates {
+		if lr.Mbps < 1 || lr.Mbps > 1000 {
+			return false
+		}
+	}
+	// Near-stability ports make the trajectory busy period (and the
+	// simulated queues) balloon: one fuzz exec must stay cheap.
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		return false
+	}
+	for _, u := range pg.UtilizationReport() {
+		if u > 0.9 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,453 @@
+// Package conformance is the cross-engine differential-testing oracle:
+// it drives the configuration generator to produce families of valid
+// AFDX networks, runs every delay engine on each (simulator, exact
+// offset search, Trajectory, Network Calculus — sequentially and in
+// parallel), and asserts the invariant lattice that relates them:
+//
+//	observed (sim)  ≤  achievable (exact)  ≤  min(Trajectory, WCNC)
+//
+// plus the structural invariants the paper's combined method rests on —
+// the combined bound is exactly the per-path minimum of the two
+// analyses, the grouping refinement never loosens a bound, tightening a
+// traffic contract (doubling a BAG, shrinking s_max) never increases
+// any bound (metamorphic monotonicity), and the parallel engines are
+// bit-identical to their sequential runs and across repeated runs.
+//
+// Soundness comparisons against the Trajectory engine use the
+// *ungrouped* variant: the published grouped formulation is optimistic
+// in corner cases (see README, "Known optimism of the grouped
+// trajectory method"), so the repository's soundness convention
+// sandwiches the simulator against Network Calculus and the ungrouped
+// Trajectory bound. The grouped variant is still exercised by the
+// grouping-monotonicity and combined-minimum invariants.
+//
+// On a violation the shrinker (shrink.go) minimises the configuration
+// to a smallest reproducing network, which lands in the replay corpus
+// under testdata/ and is re-run forever after by plain `go test`.
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"afdx/internal/afdx"
+	"afdx/internal/core"
+	"afdx/internal/exact"
+	"afdx/internal/netcalc"
+	"afdx/internal/sim"
+	"afdx/internal/trajectory"
+)
+
+// Invariant identifies one checked relation of the lattice.
+type Invariant string
+
+// The invariant lattice. Each constant names one relation the oracle
+// asserts on every configuration it checks.
+const (
+	// InvSimVsNC: no simulated delay exceeds the Network Calculus bound.
+	InvSimVsNC Invariant = "sim-vs-nc"
+	// InvSimVsTrajectory: no simulated delay exceeds the ungrouped
+	// Trajectory bound (the sound variant; see the package comment).
+	InvSimVsTrajectory Invariant = "sim-vs-trajectory"
+	// InvSimVsExact: the pinned-offset simulation never beats the exact
+	// offset search (its schedule is one of the search's grid points).
+	InvSimVsExact Invariant = "sim-vs-exact"
+	// InvExactVsBounds: the exact search's achievable delays stay below
+	// min(WCNC, ungrouped Trajectory).
+	InvExactVsBounds Invariant = "exact-vs-bounds"
+	// InvCombinedMin: the combined analysis equals the per-path minimum
+	// of the two grouped bounds, and its per-engine columns are
+	// bit-identical to the oracle's own engine runs.
+	InvCombinedMin Invariant = "combined-min"
+	// InvGroupingTightens: enabling the grouping (serialization)
+	// refinement never loosens a bound, in either engine.
+	InvGroupingTightens Invariant = "grouping-tightens"
+	// InvMonotoneBAG: doubling one VL's BAG (less traffic) never
+	// increases any path bound of either engine.
+	InvMonotoneBAG Invariant = "monotone-bag"
+	// InvMonotoneSMax: shrinking one VL's s_max (less traffic) never
+	// increases any path bound of either engine.
+	InvMonotoneSMax Invariant = "monotone-smax"
+	// InvParallelParity: a multi-worker run is bit-identical to the
+	// sequential run, for both engines.
+	InvParallelParity Invariant = "parallel-parity"
+	// InvRepeatability: re-running an engine on the same input yields
+	// bit-identical results (pins the PR 2 map-iteration float wobble).
+	InvRepeatability Invariant = "repeatability"
+)
+
+// Violation is one failed invariant on one configuration.
+type Violation struct {
+	Invariant Invariant   `json:"invariant"`
+	Path      afdx.PathID `json:"path,omitempty"`
+	// Got and Bound are the two sides of the violated relation
+	// (Got should not have exceeded Bound).
+	Got    float64 `json:"got"`
+	Bound  float64 `json:"bound"`
+	Detail string  `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: path %s: %.9g > %.9g (%s)", v.Invariant, v.Path, v.Got, v.Bound, v.Detail)
+}
+
+// Engines bundles the analysis entry points the oracle drives. Tests
+// inject faulty wrappers here to prove the oracle catches engine bugs;
+// production use keeps DefaultEngines.
+type Engines struct {
+	NC         func(pg *afdx.PortGraph, opts netcalc.Options) (*netcalc.Result, error)
+	Trajectory func(pg *afdx.PortGraph, opts trajectory.Options) (*trajectory.Result, error)
+	Sim        func(pg *afdx.PortGraph, cfg sim.Config) (*sim.Result, error)
+	Exact      func(pg *afdx.PortGraph, opts exact.Options) (*exact.Result, error)
+}
+
+// DefaultEngines returns the real analysis engines.
+func DefaultEngines() Engines {
+	return Engines{
+		NC:         netcalc.Analyze,
+		Trajectory: trajectory.Analyze,
+		Sim:        sim.Run,
+		Exact:      exact.Search,
+	}
+}
+
+// Oracle checks the invariant lattice on one configuration at a time.
+// The zero value is not useful; start from NewOracle.
+type Oracle struct {
+	Engines Engines
+	// MaxExactVLs bounds the configurations the exponential exact
+	// search is attempted on (0 disables the exact tier entirely).
+	MaxExactVLs int
+	// ExactGridDiv divides each BAG into this many grid steps for the
+	// exact search (default 4).
+	ExactGridDiv int
+	// ParityWorkers is the worker count of the parallel-parity runs
+	// (default 4; 1 degenerates the parity check to repeatability).
+	ParityWorkers int
+	// SkipMetamorphic disables the mutation-based monotonicity
+	// invariants (used by the shrinker's inner loop, where re-checking
+	// mutants of mutants only slows convergence).
+	SkipMetamorphic bool
+	// SimSeed seeds the randomized simulation run.
+	SimSeed int64
+}
+
+// NewOracle returns an oracle over the real engines with the default
+// budgets: exact search up to 4 VLs on a quarter-BAG grid.
+func NewOracle() *Oracle {
+	return &Oracle{
+		Engines:       DefaultEngines(),
+		MaxExactVLs:   4,
+		ExactGridDiv:  4,
+		ParityWorkers: 4,
+		SimSeed:       1,
+	}
+}
+
+// relEps is the tolerance of the ordering invariants: a ≤ b is accepted
+// when a ≤ b + relEps*max(1,|b|). The engines are deterministic, so the
+// tolerance only absorbs the genuine float non-associativity between
+// *different* computations (e.g. a sum of port bounds vs a busy-period
+// maximisation); identity invariants (parity, repeatability,
+// combined-minimum) use exact equality.
+const relEps = 1e-9
+
+func leq(a, b float64) bool {
+	return a <= b+relEps*math.Max(1, math.Abs(b))
+}
+
+// Check runs the full invariant lattice on one validated network and
+// returns every violation found (nil error, possibly empty slice), or
+// an error when the configuration cannot be analysed at all (which is
+// not a conformance violation: infeasible inputs are the linter's
+// domain, not the oracle's).
+func (o *Oracle) Check(net *afdx.Network) ([]Violation, error) {
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %w", err)
+	}
+	var vs []Violation
+
+	// Sequential reference runs of the four engine variants.
+	ncG, err := o.Engines.NC(pg, netcalc.Options{Grouping: true, Parallel: 1})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: netcalc (grouped): %w", err)
+	}
+	ncU, err := o.Engines.NC(pg, netcalc.Options{Grouping: false, Parallel: 1})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: netcalc (ungrouped): %w", err)
+	}
+	trG, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: true, Parallel: 1})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: trajectory (grouped): %w", err)
+	}
+	trU, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: false, Parallel: 1})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: trajectory (ungrouped): %w", err)
+	}
+
+	paths := pg.Net.AllPaths()
+
+	// Grouping never loosens a bound.
+	for _, pid := range paths {
+		if g, u := ncG.PathDelays[pid], ncU.PathDelays[pid]; !leq(g, u) {
+			vs = append(vs, Violation{InvGroupingTightens, pid, g, u, "netcalc grouped > ungrouped"})
+		}
+		if g, u := trG.PathDelays[pid], trU.PathDelays[pid]; !leq(g, u) {
+			vs = append(vs, Violation{InvGroupingTightens, pid, g, u, "trajectory grouped > ungrouped"})
+		}
+	}
+
+	// The combined analysis is exactly min(WCNC, Trajectory) per path,
+	// computed over the same engine results the oracle holds. core
+	// re-runs the real engines, so this also cross-checks the oracle's
+	// (possibly fault-injected) engines against the library's.
+	cmp, err := core.CompareWith(pg,
+		netcalc.Options{Grouping: true, Parallel: 1},
+		trajectory.Options{Grouping: true, Parallel: 1})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: combined analysis: %w", err)
+	}
+	for _, pid := range paths {
+		pc := cmp.PerPath[pid]
+		if want := math.Min(pc.NCUs, pc.TrajectoryUs); pc.BestUs != want {
+			vs = append(vs, Violation{InvCombinedMin, pid, pc.BestUs, want, "combined best != min(nc, trajectory)"})
+		}
+		if pc.NCUs != ncG.PathDelays[pid] {
+			vs = append(vs, Violation{InvCombinedMin, pid, ncG.PathDelays[pid], pc.NCUs, "oracle nc run != combined nc column"})
+		}
+		if pc.TrajectoryUs != trG.PathDelays[pid] {
+			vs = append(vs, Violation{InvCombinedMin, pid, trG.PathDelays[pid], pc.TrajectoryUs, "oracle trajectory run != combined trajectory column"})
+		}
+	}
+
+	// Parallel parity and repeatability: bit-identical results across
+	// worker counts and across repeated runs.
+	vs = append(vs, o.checkDeterminism(pg, ncG, trG)...)
+
+	// Behavioural tier: simulation (pinned and randomized offsets) and,
+	// on small configurations, the exact offset search.
+	vs = append(vs, o.checkBehaviour(pg, ncG, trU)...)
+
+	// Metamorphic tier: tightening a contract never loosens any bound.
+	if !o.SkipMetamorphic {
+		mvs, err := o.checkMetamorphic(net, ncG, trU)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, mvs...)
+	}
+
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Invariant != vs[j].Invariant {
+			return vs[i].Invariant < vs[j].Invariant
+		}
+		if vs[i].Path != vs[j].Path {
+			return vs[i].Path.String() < vs[j].Path.String()
+		}
+		return vs[i].Detail < vs[j].Detail
+	})
+	return vs, nil
+}
+
+// checkDeterminism asserts parallel parity and run-to-run repeatability
+// of both engines against the sequential reference results.
+func (o *Oracle) checkDeterminism(pg *afdx.PortGraph, ncRef *netcalc.Result, trRef *trajectory.Result) []Violation {
+	var vs []Violation
+	workers := o.ParityWorkers
+	if workers <= 0 {
+		workers = 4
+	}
+	if ncPar, err := o.Engines.NC(pg, netcalc.Options{Grouping: true, Parallel: workers}); err != nil {
+		vs = append(vs, Violation{InvParallelParity, afdx.PathID{}, 0, 0, "netcalc parallel run failed: " + err.Error()})
+	} else {
+		vs = append(vs, diffPathDelays(InvParallelParity, "netcalc", ncRef.PathDelays, ncPar.PathDelays)...)
+	}
+	if trPar, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: true, Parallel: workers}); err != nil {
+		vs = append(vs, Violation{InvParallelParity, afdx.PathID{}, 0, 0, "trajectory parallel run failed: " + err.Error()})
+	} else {
+		vs = append(vs, diffPathDelays(InvParallelParity, "trajectory", trRef.PathDelays, trPar.PathDelays)...)
+	}
+	if ncAgain, err := o.Engines.NC(pg, netcalc.Options{Grouping: true, Parallel: 1}); err == nil {
+		vs = append(vs, diffPathDelays(InvRepeatability, "netcalc", ncRef.PathDelays, ncAgain.PathDelays)...)
+	}
+	if trAgain, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: true, Parallel: 1}); err == nil {
+		vs = append(vs, diffPathDelays(InvRepeatability, "trajectory", trRef.PathDelays, trAgain.PathDelays)...)
+	}
+	return vs
+}
+
+// diffPathDelays reports every path whose two delay values are not
+// bit-identical.
+func diffPathDelays(inv Invariant, engine string, a, b map[afdx.PathID]float64) []Violation {
+	var vs []Violation
+	for pid, da := range a {
+		if db, ok := b[pid]; !ok || da != db {
+			vs = append(vs, Violation{inv, pid, db, da,
+				fmt.Sprintf("%s results differ across runs", engine)})
+		}
+	}
+	return vs
+}
+
+// checkBehaviour runs the simulator (and on small configurations the
+// exact search) and asserts the observed ≤ achievable ≤ bound chain.
+func (o *Oracle) checkBehaviour(pg *afdx.PortGraph, ncG *netcalc.Result, trU *trajectory.Result) []Violation {
+	var vs []Violation
+	maxBag := 0.0
+	for _, v := range pg.Net.VLs {
+		if v.BAGUs() > maxBag {
+			maxBag = v.BAGUs()
+		}
+	}
+	horizon := 2 * maxBag
+
+	bound := func(pid afdx.PathID) float64 {
+		return math.Min(ncG.PathDelays[pid], trU.PathDelays[pid])
+	}
+	checkSim := func(r *sim.Result, label string) {
+		for pid, st := range r.Paths {
+			if !leq(st.MaxDelayUs, ncG.PathDelays[pid]) {
+				vs = append(vs, Violation{InvSimVsNC, pid, st.MaxDelayUs, ncG.PathDelays[pid], label})
+			}
+			if !leq(st.MaxDelayUs, trU.PathDelays[pid]) {
+				vs = append(vs, Violation{InvSimVsTrajectory, pid, st.MaxDelayUs, trU.PathDelays[pid], label})
+			}
+		}
+	}
+
+	// Pinned run: every VL starts at offset 0 — the all-zero grid point
+	// of the exact search, simulated over the same horizon, so its
+	// observations are a subset of the search's by construction.
+	pinned := map[string]float64{}
+	for _, v := range pg.Net.VLs {
+		pinned[v.ID] = 0
+	}
+	pinnedRes, err := o.Engines.Sim(pg, sim.Config{
+		Model: sim.GreedySources, DurationUs: horizon, OffsetsUs: pinned,
+	})
+	if err != nil {
+		vs = append(vs, Violation{InvSimVsNC, afdx.PathID{}, 0, 0, "pinned simulation failed: " + err.Error()})
+		return vs
+	}
+	checkSim(pinnedRes, "pinned offsets (all zero)")
+
+	// Randomized run: seeded random offsets over a longer horizon.
+	randRes, err := o.Engines.Sim(pg, sim.Config{
+		Model: sim.GreedySources, DurationUs: 4 * maxBag, Seed: o.SimSeed,
+	})
+	if err != nil {
+		vs = append(vs, Violation{InvSimVsNC, afdx.PathID{}, 0, 0, "randomized simulation failed: " + err.Error()})
+		return vs
+	}
+	checkSim(randRes, fmt.Sprintf("random offsets (seed %d)", o.SimSeed))
+
+	// Exact tier, gated on the exponential cost.
+	if o.MaxExactVLs <= 0 || len(pg.Net.VLs) > o.MaxExactVLs {
+		return vs
+	}
+	div := o.ExactGridDiv
+	if div <= 0 {
+		div = 4
+	}
+	minBag := math.Inf(1)
+	for _, v := range pg.Net.VLs {
+		minBag = math.Min(minBag, v.BAGUs())
+	}
+	ex, err := o.Engines.Exact(pg, exact.Options{
+		GridUs:     minBag / float64(div),
+		Refine:     2,
+		MaxCombos:  1 << 14,
+		DurationUs: horizon,
+	})
+	if err != nil {
+		// The grid overflowing MaxCombos is a budget miss, not a bug.
+		return vs
+	}
+	for pid, d := range ex.Delays {
+		if !leq(d, bound(pid)) {
+			vs = append(vs, Violation{InvExactVsBounds, pid, d, bound(pid), "exact search beat the analytic bounds"})
+		}
+	}
+	for pid, st := range pinnedRes.Paths {
+		if !leq(st.MaxDelayUs, ex.Delays[pid]) {
+			vs = append(vs, Violation{InvSimVsExact, pid, st.MaxDelayUs, ex.Delays[pid], "pinned simulation beat the exact search"})
+		}
+	}
+	return vs
+}
+
+// checkMetamorphic re-analyses two contract-tightened mutants of the
+// network — one VL's BAG doubled, one VL's s_max halved — and asserts
+// no path bound of either (sound-variant) engine increased.
+func (o *Oracle) checkMetamorphic(net *afdx.Network, ncG *netcalc.Result, trU *trajectory.Result) ([]Violation, error) {
+	var vs []Violation
+	rng := rand.New(rand.NewSource(o.SimSeed))
+	pick := func(ok func(*afdx.VirtualLink) bool) *afdx.VirtualLink {
+		var cands []*afdx.VirtualLink
+		for _, v := range net.VLs {
+			if ok(v) {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		return cands[rng.Intn(len(cands))]
+	}
+
+	check := func(mutant *afdx.Network, inv Invariant, what string) error {
+		pg, err := afdx.BuildPortGraph(mutant, afdx.Strict)
+		if err != nil {
+			return fmt.Errorf("conformance: mutant (%s): %w", what, err)
+		}
+		nc, err := o.Engines.NC(pg, netcalc.Options{Grouping: true, Parallel: 1})
+		if err != nil {
+			return fmt.Errorf("conformance: mutant netcalc (%s): %w", what, err)
+		}
+		tr, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: false, Parallel: 1})
+		if err != nil {
+			return fmt.Errorf("conformance: mutant trajectory (%s): %w", what, err)
+		}
+		for pid, d := range nc.PathDelays {
+			if base, ok := ncG.PathDelays[pid]; ok && !leq(d, base) {
+				vs = append(vs, Violation{inv, pid, d, base, "netcalc bound grew after " + what})
+			}
+		}
+		for pid, d := range tr.PathDelays {
+			if base, ok := trU.PathDelays[pid]; ok && !leq(d, base) {
+				vs = append(vs, Violation{inv, pid, d, base, "trajectory bound grew after " + what})
+			}
+		}
+		return nil
+	}
+
+	if v := pick(func(v *afdx.VirtualLink) bool { return v.BAGMs < afdx.MaxBAGMs }); v != nil {
+		mutant := cloneNetwork(net)
+		mutant.VL(v.ID).BAGMs *= 2
+		if err := check(mutant, InvMonotoneBAG, fmt.Sprintf("doubling BAG of %s", v.ID)); err != nil {
+			return nil, err
+		}
+	}
+	if v := pick(func(v *afdx.VirtualLink) bool { return v.SMaxBytes > afdx.MinFrameBytes }); v != nil {
+		mutant := cloneNetwork(net)
+		mv := mutant.VL(v.ID)
+		mv.SMaxBytes = maxInt(afdx.MinFrameBytes, mv.SMaxBytes/2)
+		if mv.SMinBytes > mv.SMaxBytes {
+			mv.SMinBytes = mv.SMaxBytes
+		}
+		if err := check(mutant, InvMonotoneSMax, fmt.Sprintf("halving s_max of %s", v.ID)); err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

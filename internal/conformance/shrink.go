@@ -1,0 +1,128 @@
+package conformance
+
+import (
+	"bytes"
+
+	"afdx/internal/afdx"
+)
+
+// cloneNetwork deep-copies a network through its JSON codec (the codec
+// round-trips every analysable configuration; see internal/afdx).
+func cloneNetwork(n *afdx.Network) *afdx.Network {
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		panic("conformance: clone encode: " + err.Error()) // a decoded network always re-encodes
+	}
+	c, err := afdx.DecodeJSON(&buf)
+	if err != nil {
+		panic("conformance: clone decode: " + err.Error())
+	}
+	return c
+}
+
+// Shrink minimises a violating configuration: starting from net — on
+// which the oracle reported a violation of invariant inv — it greedily
+// applies structure-removing transformations (drop VLs, collapse
+// multicast path sets, shrink frame sizes) and keeps every candidate on
+// which the same invariant still fails, until no transformation makes
+// progress or the evaluation budget (oracle re-runs) is exhausted.
+//
+// The result is the smallest reproducing network found, ready for the
+// replay corpus. Shrinking re-checks candidates with the metamorphic
+// tier disabled: mutants of mutants slow convergence without changing
+// what the replay corpus pins (the corpus re-runs the full lattice).
+func (o *Oracle) Shrink(net *afdx.Network, inv Invariant, budget int) *afdx.Network {
+	if budget <= 0 {
+		budget = 200
+	}
+	inner := *o
+	inner.SkipMetamorphic = inv != InvMonotoneBAG && inv != InvMonotoneSMax
+	evals := 0
+	stillFails := func(cand *afdx.Network) bool {
+		if evals >= budget {
+			return false
+		}
+		evals++
+		vs, err := inner.Check(cand)
+		if err != nil {
+			return false // a candidate the engines reject is no repro
+		}
+		for _, v := range vs {
+			if v.Invariant == inv {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := cloneNetwork(net)
+	for progress := true; progress && evals < budget; {
+		progress = false
+		// Pass 1: drop whole VLs, largest index first so the survivors
+		// keep stable identifiers.
+		for i := len(cur.VLs) - 1; i >= 0 && len(cur.VLs) > 1; i-- {
+			cand := cloneNetwork(cur)
+			cand.VLs = append(cand.VLs[:i], cand.VLs[i+1:]...)
+			pruneNodes(cand)
+			if stillFails(cand) {
+				cur = cand
+				progress = true
+			}
+		}
+		// Pass 2: collapse each VL's multicast path set to one path.
+		for i := range cur.VLs {
+			if len(cur.VLs[i].Paths) <= 1 {
+				continue
+			}
+			for keep := 0; keep < len(cur.VLs[i].Paths); keep++ {
+				cand := cloneNetwork(cur)
+				cand.VLs[i].Paths = [][]string{cand.VLs[i].Paths[keep]}
+				pruneNodes(cand)
+				if stillFails(cand) {
+					cur = cand
+					progress = true
+					break
+				}
+			}
+		}
+		// Pass 3: shrink frame sizes to the Ethernet minimum.
+		for i := range cur.VLs {
+			if cur.VLs[i].SMaxBytes <= afdx.MinFrameBytes {
+				continue
+			}
+			cand := cloneNetwork(cur)
+			cand.VLs[i].SMaxBytes = afdx.MinFrameBytes
+			cand.VLs[i].SMinBytes = afdx.MinFrameBytes
+			if stillFails(cand) {
+				cur = cand
+				progress = true
+			}
+		}
+	}
+	return cur
+}
+
+// pruneNodes removes end systems and switches no remaining VL path
+// visits (dropping VLs orphans nodes, which only adds lint noise to the
+// replay corpus).
+func pruneNodes(n *afdx.Network) {
+	used := map[string]bool{}
+	for _, v := range n.VLs {
+		for _, p := range v.Paths {
+			for _, node := range p {
+				used[node] = true
+			}
+		}
+	}
+	keep := func(ids []string) []string {
+		out := ids[:0]
+		for _, id := range ids {
+			if used[id] {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	n.EndSystems = keep(n.EndSystems)
+	n.Switches = keep(n.Switches)
+}
