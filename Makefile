@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the expanded verification
 # gate (build, gofmt, vet, tests, race detector); see check.sh.
 
-.PHONY: build test check lint fmt bench bench-pr3 conformance fuzz-smoke
+.PHONY: build test check lint fmt bench bench-pr3 bench-pr4 profile conformance fuzz-smoke
 
 build:
 	go build ./...
@@ -26,7 +26,7 @@ fmt:
 # two variants compute identical bounds, so the ratio is pure wall-time.
 bench:
 	go test -run '^$$' -bench 'Industrial(Seq|Par)$$' -benchtime 2x . \
-		| tee /dev/stderr | go run ./cmd/afdx-benchjson > BENCH_PR2.json
+		| tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR2.json
 
 # Time the conformance oracle sequentially and parallel (one op = a
 # 16-config campaign; the verdicts are identical either way, so the
@@ -34,7 +34,23 @@ bench:
 # in BENCH_PR3.json.
 bench-pr3:
 	go test -run '^$$' -bench 'ConformanceOracle(Seq|Par)$$' -benchtime 3x ./internal/conformance \
-		| tee /dev/stderr | go run ./cmd/afdx-benchjson > BENCH_PR3.json
+		| tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR3.json
+
+# Measure the observability layer itself: per-engine instrumented/plain
+# wall-time ratio (median over interleaved rounds; budget <= 5%) plus
+# the engine counter totals, recorded in BENCH_PR4.json.
+bench-pr4:
+	go run ./cmd/afdx-benchjson -obs -o BENCH_PR4.json
+
+# Capture CPU and heap profiles of the full industrial analysis under
+# profiles/ (gitignored); inspect with `go tool pprof`.
+profile:
+	mkdir -p profiles
+	go run ./cmd/afdx-gen -seed 1 -out profiles/industrial.json
+	go run ./cmd/afdx-bounds -config profiles/industrial.json \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof \
+		-metrics profiles/metrics.json > /dev/null
+	@echo "profiles written: profiles/{cpu,mem}.pprof, profiles/metrics.json"
 
 # Cross-engine differential campaign: deterministic family, full
 # invariant lattice, shrunk reproductions land in the replay corpus.

@@ -34,6 +34,7 @@
 package afdx
 
 import (
+	"context"
 	"io"
 
 	iafdx "afdx/internal/afdx"
@@ -44,6 +45,7 @@ import (
 	"afdx/internal/exact"
 	"afdx/internal/lint"
 	"afdx/internal/netcalc"
+	"afdx/internal/obs"
 	"afdx/internal/sim"
 	"afdx/internal/trajectory"
 )
@@ -158,6 +160,12 @@ func AnalyzeNC(pg *PortGraph, opts NCOptions) (*NCResult, error) {
 	return netcalc.Analyze(pg, opts)
 }
 
+// AnalyzeNCCtx is AnalyzeNC with observability threaded through the
+// context (see WithObservation).
+func AnalyzeNCCtx(ctx context.Context, pg *PortGraph, opts NCOptions) (*NCResult, error) {
+	return netcalc.AnalyzeCtx(ctx, pg, opts)
+}
+
 // Trajectory analysis.
 type (
 	// TrajectoryOptions selects Trajectory variants (grouping, transition
@@ -173,6 +181,12 @@ func DefaultTrajectoryOptions() TrajectoryOptions { return trajectory.DefaultOpt
 // AnalyzeTrajectory runs the Trajectory analysis.
 func AnalyzeTrajectory(pg *PortGraph, opts TrajectoryOptions) (*TrajectoryResult, error) {
 	return trajectory.Analyze(pg, opts)
+}
+
+// AnalyzeTrajectoryCtx is AnalyzeTrajectory with observability threaded
+// through the context (see WithObservation).
+func AnalyzeTrajectoryCtx(ctx context.Context, pg *PortGraph, opts TrajectoryOptions) (*TrajectoryResult, error) {
+	return trajectory.AnalyzeCtx(ctx, pg, opts)
 }
 
 // TrajectoryExplanation decomposes one path's trajectory bound into its
@@ -215,6 +229,18 @@ func CompareWith(pg *PortGraph, nc NCOptions, tr TrajectoryOptions) (*Comparison
 	return core.CompareWith(pg, nc, tr)
 }
 
+// CompareCtx is Compare with observability threaded through the
+// context (see WithObservation).
+func CompareCtx(ctx context.Context, pg *PortGraph) (*Comparison, error) {
+	return core.CompareCtx(ctx, pg)
+}
+
+// CompareWithCtx is CompareWith with observability threaded through
+// the context.
+func CompareWithCtx(ctx context.Context, pg *PortGraph, nc NCOptions, tr TrajectoryOptions) (*Comparison, error) {
+	return core.CompareWithCtx(ctx, pg, nc, tr)
+}
+
 // Simulation.
 type (
 	// SimConfig parameterises a simulation run.
@@ -238,6 +264,12 @@ func DefaultSimConfig(seed int64) SimConfig { return sim.DefaultConfig(seed) }
 
 // Simulate runs the discrete-event simulator.
 func Simulate(pg *PortGraph, cfg SimConfig) (*SimResult, error) { return sim.Run(pg, cfg) }
+
+// SimulateCtx is Simulate with observability threaded through the
+// context (see WithObservation).
+func SimulateCtx(ctx context.Context, pg *PortGraph, cfg SimConfig) (*SimResult, error) {
+	return sim.RunCtx(ctx, pg, cfg)
+}
 
 // Synthetic industrial configurations.
 type (
@@ -284,6 +316,14 @@ func RunConformance(opts ConformanceOptions) (*ConformanceReport, error) {
 	return conformance.Run(opts)
 }
 
+// RunConformanceCtx is RunConformance with observability threaded
+// through the context: the campaign opens a "campaign" span with one
+// "config:<i>" child per configuration, and every engine run nests
+// its spans and counters beneath those.
+func RunConformanceCtx(ctx context.Context, opts ConformanceOptions) (*ConformanceReport, error) {
+	return conformance.RunCtx(ctx, opts)
+}
+
 // NewConformanceOracle returns the invariant checker over the real
 // engines with default budgets.
 func NewConformanceOracle() *ConformanceOracle { return conformance.NewOracle() }
@@ -305,4 +345,46 @@ func DefaultExactOptions() ExactOptions { return exact.DefaultOptions() }
 // sandwich the analytic upper bounds).
 func SearchWorstCase(pg *PortGraph, opts ExactOptions) (*ExactResult, error) {
 	return exact.Search(pg, opts)
+}
+
+// SearchWorstCaseCtx is SearchWorstCase with observability threaded
+// through the context.
+func SearchWorstCaseCtx(ctx context.Context, pg *PortGraph, opts ExactOptions) (*ExactResult, error) {
+	return exact.SearchCtx(ctx, pg, opts)
+}
+
+// Observability (engine metrics and span tracing).
+//
+// The engines are observation-transparent: attaching a registry or
+// tracer never changes any computed bound, and the Deterministic
+// subset of the metric snapshot is bit-identical across worker counts
+// and repeated runs.
+type (
+	// ObsRegistry collects named counters and histograms from every
+	// engine run under a context carrying it.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a sorted, immutable capture of a registry.
+	ObsSnapshot = obs.Snapshot
+	// ObsTracer records hierarchical spans (campaign → config →
+	// engine → path/port) for Chrome-trace export or text trees.
+	ObsTracer = obs.Tracer
+)
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsTracer returns a span tracer whose clock starts now.
+func NewObsTracer() *ObsTracer { return obs.NewTracer() }
+
+// WithObservation attaches a registry and/or tracer (either may be
+// nil) to a context; pass the context to the *Ctx analysis variants
+// to collect metrics and spans from the run.
+func WithObservation(ctx context.Context, reg *ObsRegistry, tr *ObsTracer) context.Context {
+	if reg != nil {
+		ctx = obs.WithRegistry(ctx, reg)
+	}
+	if tr != nil {
+		ctx = obs.WithTracer(ctx, tr)
+	}
+	return ctx
 }

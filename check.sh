@@ -9,7 +9,10 @@
 #   5. go test -race ./...   (the suite again under the race detector)
 #   6. afdx-conformance      (short cross-engine differential campaign,
 #                             deterministic seed, wall-time budgeted)
-#   7. fuzz smoke            (each native fuzz target for a few seconds)
+#   7. traced conformance    (same campaign with metrics + tracing on:
+#                             verdicts must be identical — observability
+#                             never participates in the computation)
+#   8. fuzz smoke            (each native fuzz target for a few seconds)
 #
 # Usage: ./check.sh        (or: make check)
 set -eu
@@ -37,6 +40,26 @@ go test -race ./...
 
 echo "== conformance oracle (short campaign, deterministic)"
 go run ./cmd/afdx-conformance -n 150 -seed 1 -budget 45s -quiet
+
+echo "== traced conformance (observability non-interference)"
+# Run the same 50-config campaign plain and with the full observability
+# stack attached; after stripping the wall-time fields the JSON reports
+# must be byte-identical and report zero violations.
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/afdx-conformance -n 50 -seed 7 -json -quiet > "$obsdir/plain.json"
+go run ./cmd/afdx-conformance -n 50 -seed 7 -json -quiet \
+	-metrics "$obsdir/metrics.json" -tracefile "$obsdir/trace.json" > "$obsdir/traced.json"
+grep -vE '"(elapsedSec|configsPerSec)"' "$obsdir/plain.json" > "$obsdir/plain.stable.json"
+grep -vE '"(elapsedSec|configsPerSec)"' "$obsdir/traced.json" > "$obsdir/traced.stable.json"
+if ! diff -u "$obsdir/plain.stable.json" "$obsdir/traced.stable.json"; then
+	echo "check.sh: traced and untraced conformance verdicts differ" >&2
+	exit 1
+fi
+if ! grep -q '"violations": 0' "$obsdir/plain.json"; then
+	echo "check.sh: traced-conformance smoke campaign found violations" >&2
+	exit 1
+fi
 
 echo "== fuzz smoke (5s per target)"
 go test -run '^$' -fuzz '^FuzzReadJSON$' -fuzztime 5s ./internal/afdx

@@ -5,6 +5,7 @@ package afdx_test
 // combinations against a real configuration file.
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"os/exec"
@@ -21,7 +22,7 @@ var (
 	cliOnce  sync.Once
 	cliDir   string
 	cliErr   error
-	cliTools = []string{"afdx-gen", "afdx-lint", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact", "afdx-conformance"}
+	cliTools = []string{"afdx-gen", "afdx-lint", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact", "afdx-conformance", "afdx-benchjson"}
 )
 
 // buildCLIs compiles every command once per test binary invocation.
@@ -66,6 +67,20 @@ func runCLI(t *testing.T, dir, tool string, args ...string) string {
 		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
 	}
 	return string(out)
+}
+
+// runCLIStdout runs a tool keeping stdout separate from stderr — for
+// machine-readable modes whose purity contract routes human chatter to
+// stderr.
+func runCLIStdout(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", tool, args, err, stdout.String(), stderr.String())
+	}
+	return stdout.String()
 }
 
 func TestCLIGen(t *testing.T) {
@@ -204,8 +219,8 @@ func TestCLIConformance(t *testing.T) {
 		t.Errorf("clean campaign summary malformed:\n%s", out)
 	}
 
-	seq := runCLI(t, dir, "afdx-conformance", "-n", "6", "-seed", "9", "-parallel", "1", "-json")
-	par := runCLI(t, dir, "afdx-conformance", "-n", "6", "-seed", "9", "-parallel", "4", "-json")
+	seq := runCLIStdout(t, dir, "afdx-conformance", "-n", "6", "-seed", "9", "-parallel", "1", "-json")
+	par := runCLIStdout(t, dir, "afdx-conformance", "-n", "6", "-seed", "9", "-parallel", "4", "-json")
 	var repSeq, repPar afdx.ConformanceReport
 	if err := json.Unmarshal([]byte(seq), &repSeq); err != nil {
 		t.Fatalf("JSON report does not parse: %v\n%s", err, seq)
@@ -273,5 +288,126 @@ func TestCLIErrorPaths(t *testing.T) {
 	cmd = exec.Command(filepath.Join(dir, "afdx-experiments"), "-exp", "nope")
 	if err := cmd.Run(); err == nil {
 		t.Error("unknown experiment should fail")
+	}
+}
+
+// TestCLIBoundsMetricsAndTrace drives the shared observability flags:
+// -metrics must dump a snapshot whose engine counters are nonzero, and
+// -tracefile must emit a Chrome-trace JSON array of complete events.
+func TestCLIBoundsMetricsAndTrace(t *testing.T) {
+	dir := buildCLIs(t)
+	cfg := sampleConfig(t)
+	td := t.TempDir()
+	metrics := filepath.Join(td, "metrics.json")
+	tracef := filepath.Join(td, "trace.json")
+	runCLI(t, dir, "afdx-bounds", "-config", cfg, "-metrics", metrics, "-tracefile", tracef)
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("-metrics wrote no file: %v", err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics dump is not JSON: %v\n%s", err, raw)
+	}
+	vals := map[string]int64{}
+	for _, c := range snap.Counters {
+		vals[c.Name] = c.Value
+	}
+	for _, name := range []string{
+		"netcalc.ports_analyzed",
+		"netcalc.service_curve_cache_hits",
+		"trajectory.busy_period_iterations",
+		"trajectory.prefix_cache_hits",
+	} {
+		if vals[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0 (snapshot: %s)", name, vals[name], raw)
+		}
+	}
+
+	rawTrace, err := os.ReadFile(tracef)
+	if err != nil {
+		t.Fatalf("-tracefile wrote no file: %v", err)
+	}
+	var evs []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	}
+	if err := json.Unmarshal(rawTrace, &evs); err != nil {
+		t.Fatalf("trace file is not a JSON array: %v\n%.400s", err, rawTrace)
+	}
+	if len(evs) == 0 {
+		t.Fatal("trace file holds no spans")
+	}
+	names := map[string]bool{}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			t.Errorf("event %q phase %q, want X (complete)", e.Name, e.Ph)
+		}
+		names[e.Name] = true
+	}
+	if !names["netcalc"] || !names["trajectory"] {
+		t.Errorf("trace misses engine spans, got %v", names)
+	}
+}
+
+// TestCLIConformanceJSONStdoutPure pins the -json purity contract on
+// the violating path: even when the injected fault floods the report
+// with violations, stdout carries exactly one JSON document (the human
+// summary goes to stderr), so `afdx-conformance -json | jq` works.
+func TestCLIConformanceJSONStdoutPure(t *testing.T) {
+	dir := buildCLIs(t)
+	cmd := exec.Command(filepath.Join(dir, "afdx-conformance"),
+		"-n", "3", "-seed", "1", "-fault", "nc-optimistic", "-json")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	if code := cmd.ProcessState.ExitCode(); err == nil || code != 1 {
+		t.Fatalf("faulty campaign: exit %d (err %v), want 1", code, err)
+	}
+	var rep afdx.ConformanceReport
+	if uerr := json.Unmarshal(stdout.Bytes(), &rep); uerr != nil {
+		t.Fatalf("stdout is not pure JSON: %v\nstdout:\n%.600s", uerr, stdout.String())
+	}
+	if rep.Clean() || rep.NumViolations == 0 {
+		t.Errorf("faulty campaign reported no violations: %+v", rep)
+	}
+	if !strings.Contains(stderr.String(), "violation(s)") {
+		t.Errorf("human summary missing from stderr:\n%s", stderr.String())
+	}
+}
+
+// TestCLIBenchJSON checks the report assembler: Seq/Par rows pair into
+// a speedup and -o writes the document to the named file.
+func TestCLIBenchJSON(t *testing.T) {
+	dir := buildCLIs(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cmd := exec.Command(filepath.Join(dir, "afdx-benchjson"), "-o", out)
+	cmd.Stdin = strings.NewReader(
+		"BenchmarkIndustrialNCSeq-8   5  200000000 ns/op\n" +
+			"BenchmarkIndustrialNCPar-8  10  100000000 ns/op\n")
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("afdx-benchjson: %v\n%s", err, b)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("-o wrote no file: %v", err)
+	}
+	var rep struct {
+		Pairs []struct {
+			Base    string  `json:"benchmark"`
+			Speedup float64 `json:"speedup"`
+		} `json:"seq_par_pairs"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, raw)
+	}
+	if len(rep.Pairs) != 1 || rep.Pairs[0].Base != "BenchmarkIndustrialNC" || rep.Pairs[0].Speedup != 2 {
+		t.Errorf("pairs = %+v, want one BenchmarkIndustrialNC pair with speedup 2", rep.Pairs)
 	}
 }

@@ -10,6 +10,12 @@
 //	afdx-bounds -config net.json -no-grouping    # disable serialization
 //	afdx-bounds -config net.json -csv > out.csv  # machine-readable
 //
+// Observability (shared across every afdx-* command; see
+// internal/obs/cliobs): -metrics writes the engines' counter and
+// histogram snapshot as JSON, -tracefile a Chrome-trace-viewer span
+// trace, -spantree a human span summary on stderr, and -cpuprofile /
+// -memprofile / -trace drive the Go runtime profilers.
+//
 // Before any analysis the configuration is linted (cmd/afdx-lint's
 // analyzers); lint errors abort the run before the engines start.
 // -no-lint skips the gate for debugging.
@@ -31,6 +37,7 @@ import (
 	"strings"
 
 	"afdx"
+	"afdx/internal/obs/cliobs"
 	"afdx/internal/report"
 )
 
@@ -42,10 +49,13 @@ const (
 	exitLint     = 3
 )
 
+// sess flushes the observability artifacts on every exit path.
+var sess *cliobs.Session
+
 // fail prints the error and exits with the given contract code.
 func fail(code int, err error) {
 	log.Print(err)
-	os.Exit(code)
+	sess.Exit(code)
 }
 
 func main() {
@@ -64,11 +74,17 @@ func main() {
 		esJitter   = flag.Bool("es-jitter", false, "also print the ARINC 664 end-system output jitter report")
 		explain    = flag.String("explain", "", "print the trajectory bound decomposition of one path (e.g. v1/0)")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 	if *config == "" {
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
+	var err error
+	if sess, err = obsFlags.Start(); err != nil {
+		fail(exitUsage, err)
+	}
+	ctx := sess.Context()
 	mode := afdx.Strict
 	if *relaxed {
 		mode = afdx.Relaxed
@@ -97,14 +113,14 @@ func main() {
 		ncRes              *afdx.NCResult
 	)
 	if *method == "nc" || *method == "both" {
-		ncRes, err = afdx.AnalyzeNC(pg, ncOpts)
+		ncRes, err = afdx.AnalyzeNCCtx(ctx, pg, ncOpts)
 		if err != nil {
 			fail(exitAnalysis, err)
 		}
 		ncDelays = ncRes.PathDelays
 	}
 	if *method == "trajectory" || *method == "both" {
-		tr, err := afdx.AnalyzeTrajectory(pg, trOpts)
+		tr, err := afdx.AnalyzeTrajectoryCtx(ctx, pg, trOpts)
 		if err != nil {
 			fail(exitAnalysis, err)
 		}
@@ -112,7 +128,7 @@ func main() {
 	}
 	if ncDelays == nil && trDelays == nil {
 		log.Printf("unknown method %q (want nc, trajectory or both)", *method)
-		os.Exit(exitUsage)
+		sess.Exit(exitUsage)
 	}
 
 	paths := net.AllPaths()
@@ -177,7 +193,7 @@ func main() {
 		var idx int
 		if n, err := fmt.Sscanf(*explain, "%s", &vl); n != 1 || err != nil {
 			log.Printf("bad -explain value %q (want vl/pathIdx)", *explain)
-			os.Exit(exitUsage)
+			sess.Exit(exitUsage)
 		}
 		if i := strings.LastIndex(*explain, "/"); i > 0 {
 			vl = (*explain)[:i]
@@ -241,6 +257,7 @@ func main() {
 			fail(exitAnalysis, err)
 		}
 	}
+	sess.Exit(exitOK)
 }
 
 // preflight lints the configuration and aborts with exitLint when the
@@ -257,6 +274,6 @@ func preflight(net *afdx.Network, mode afdx.ValidationMode) {
 	if rep.HasErrors() {
 		fmt.Fprintln(os.Stderr, "afdx-bounds: infeasible configuration (use -no-lint to bypass):")
 		rep.WriteText(os.Stderr)
-		os.Exit(exitLint)
+		sess.Exit(exitLint)
 	}
 }

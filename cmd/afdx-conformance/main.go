@@ -12,6 +12,14 @@
 //	afdx-conformance -budget 30s -n 100000      # as many as fit the budget
 //	afdx-conformance -corpus testdata           # write shrunk repros
 //
+// With -json, stdout carries exactly one JSON document — the human
+// summary moves to stderr so `afdx-conformance -json | jq` works even
+// when violations are found. The shared observability flags
+// (-metrics, -tracefile, -spantree, -cpuprofile, -memprofile, -trace;
+// see internal/obs/cliobs) trace the campaign as a span tree
+// (campaign → config:<i> → engine → path/port) and collect every
+// engine's counters.
+//
 // Exit codes, for scripted callers:
 //
 //	0  every checked configuration satisfied every invariant
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"afdx/internal/conformance"
+	"afdx/internal/obs/cliobs"
 )
 
 const (
@@ -35,6 +44,9 @@ const (
 	exitViolation = 1
 	exitUsage     = 2
 )
+
+// sess flushes the observability artifacts on every exit path.
+var sess *cliobs.Session
 
 func main() {
 	log.SetFlags(0)
@@ -49,6 +61,7 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress the per-violation lines (summary only)")
 		fault     = flag.String("fault", "", "inject an engine fault for oracle self-tests: nc-optimistic | traj-optimistic")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 	if *n <= 0 {
 		log.Printf("-n must be positive, got %d", *n)
@@ -56,6 +69,11 @@ func main() {
 	}
 	if flag.NArg() > 0 {
 		log.Printf("unexpected arguments %v", flag.Args())
+		os.Exit(exitUsage)
+	}
+	var err error
+	if sess, err = obsFlags.Start(); err != nil {
+		log.Print(err)
 		os.Exit(exitUsage)
 	}
 
@@ -74,41 +92,47 @@ func main() {
 		opts.Oracle = conformance.FaultyOracle(conformance.FaultTrajectoryOptimistic)
 	default:
 		log.Printf("unknown -fault %q (want nc-optimistic or traj-optimistic)", *fault)
-		os.Exit(exitUsage)
+		sess.Exit(exitUsage)
 	}
 
 	start := time.Now()
-	rep, err := conformance.Run(opts)
+	rep, err := conformance.RunCtx(sess.Context(), opts)
 	if err != nil {
 		log.Print(err)
-		os.Exit(exitUsage)
+		sess.Exit(exitUsage)
 	}
 
+	// Human-readable output goes to stdout in text mode and to stderr
+	// in JSON mode, keeping the -json stdout a single pure JSON
+	// document for piped consumers.
+	human := os.Stdout
 	if *jsonOut {
+		human = os.Stderr
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			sess.Exit(exitUsage)
 		}
-	} else {
-		if !*quiet {
-			for _, v := range rep.Verdicts {
-				for _, viol := range v.Violations {
-					fmt.Printf("config %d (seed %d, %d VLs): %s\n", v.Index, v.Seed, v.VLs, viol)
-				}
-				if v.ShrunkFile != "" {
-					fmt.Printf("config %d: shrunk to %d VL(s): %s\n", v.Index, v.ShrunkVLs, v.ShrunkFile)
-				}
+	} else if !*quiet {
+		for _, v := range rep.Verdicts {
+			for _, viol := range v.Violations {
+				fmt.Fprintf(human, "config %d (seed %d, %d VLs): %s\n", v.Index, v.Seed, v.VLs, viol)
+			}
+			if v.ShrunkFile != "" {
+				fmt.Fprintf(human, "config %d: shrunk to %d VL(s): %s\n", v.Index, v.ShrunkVLs, v.ShrunkFile)
 			}
 		}
-		fmt.Printf("checked %d/%d configuration(s) (%d skipped by budget) in %.1fs (%.1f configs/s): %d violation(s) on %d configuration(s)\n",
+	}
+	if !*quiet || !*jsonOut {
+		fmt.Fprintf(human, "checked %d/%d configuration(s) (%d skipped by budget) in %.1fs (%.1f configs/s): %d violation(s) on %d configuration(s)\n",
 			rep.Checked, rep.N, rep.Skipped, time.Since(start).Seconds(), rep.ConfigsPerSec, rep.NumViolations, rep.Violating)
 		if invs := rep.FailingInvariants(); len(invs) > 0 {
-			fmt.Printf("violated invariants: %v\n", invs)
+			fmt.Fprintf(human, "violated invariants: %v\n", invs)
 		}
 	}
 	if !rep.Clean() {
-		os.Exit(exitViolation)
+		sess.Exit(exitViolation)
 	}
-	os.Exit(exitOK)
+	sess.Exit(exitOK)
 }

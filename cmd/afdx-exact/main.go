@@ -17,8 +17,18 @@ import (
 	"sort"
 
 	"afdx"
+	"afdx/internal/obs/cliobs"
 	"afdx/internal/report"
 )
+
+// sess flushes the observability artifacts on every exit path.
+var sess *cliobs.Session
+
+// fatal prints the error and exits through the observability session.
+func fatal(v ...any) {
+	log.Print(v...)
+	sess.Exit(1)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,34 +40,41 @@ func main() {
 		maxComb = flag.Int("max-combos", 1_000_000, "grid enumeration budget")
 		relaxed = flag.Bool("relaxed", false, "relax ARINC 664 contract validation")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 	if *config == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var err error
+	if sess, err = obsFlags.Start(); err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	ctx := sess.Context()
 	mode := afdx.Strict
 	if *relaxed {
 		mode = afdx.Relaxed
 	}
 	net, err := afdx.LoadJSON(*config, mode)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	pg, err := afdx.BuildPortGraph(net, mode)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	opts := afdx.DefaultExactOptions()
 	opts.GridUs = *gridUs
 	opts.Refine = *refine
 	opts.MaxCombos = *maxComb
-	res, err := afdx.SearchWorstCase(pg, opts)
+	res, err := afdx.SearchWorstCaseCtx(ctx, pg, opts)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	nc, err := afdx.AnalyzeNC(pg, afdx.DefaultNCOptions())
+	nc, err := afdx.AnalyzeNCCtx(ctx, pg, afdx.DefaultNCOptions())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	paths := net.AllPaths()
 	sort.Slice(paths, func(i, j int) bool { return paths[i].String() < paths[j].String() })
@@ -72,7 +89,8 @@ func main() {
 	}
 	if err := report.Table(os.Stdout,
 		[]string{"path", "achievable (us)", "WCNC bound (us)", "bound/achievable"}, rows); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("%d simulator evaluations\n", res.Evaluations)
+	sess.Exit(0)
 }

@@ -22,7 +22,11 @@ import (
 
 	"afdx"
 	"afdx/internal/experiments"
+	"afdx/internal/obs/cliobs"
 )
+
+// sess flushes the observability artifacts on every exit path.
+var sess *cliobs.Session
 
 func main() {
 	log.SetFlags(0)
@@ -34,22 +38,29 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		noLint    = flag.Bool("no-lint", false, "skip the lint pre-flight gate")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
+	var err error
+	if sess, err = obsFlags.Start(); err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		sess.Exit(0)
 	}
 	if !*noLint {
 		preflight(*seed)
 	}
-	cfg := experiments.Config{Seed: *seed, Parallel: *parallelN}
+	cfg := experiments.Config{Seed: *seed, Parallel: *parallelN, Ctx: sess.Context()}
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s: %s ===\n\n", e.ID, e.Title)
 		if err := e.Run(os.Stdout, cfg); err != nil {
-			log.Fatalf("%s: %v", e.ID, err)
+			log.Printf("%s: %v", e.ID, err)
+			sess.Exit(1)
 		}
 		fmt.Println()
 	}
@@ -57,13 +68,15 @@ func main() {
 		for _, e := range experiments.All() {
 			run(e)
 		}
-		return
+		sess.Exit(0)
 	}
 	e, ok := experiments.ByID(*exp)
 	if !ok {
-		log.Fatalf("unknown experiment %q (use -list)", *exp)
+		log.Printf("unknown experiment %q (use -list)", *exp)
+		sess.Exit(1)
 	}
 	run(e)
+	sess.Exit(0)
 }
 
 // preflight lints the two configurations the experiments analyse.
@@ -72,7 +85,8 @@ func main() {
 func preflight(seed int64) {
 	industrial, err := afdx.Generate(afdx.DefaultGeneratorSpec(seed))
 	if err != nil {
-		log.Fatalf("generating the industrial configuration: %v", err)
+		log.Printf("generating the industrial configuration: %v", err)
+		sess.Exit(1)
 	}
 	for _, net := range []*afdx.Network{afdx.Figure2Config(), industrial} {
 		rep := afdx.Lint(net, afdx.DefaultLintOptions())
@@ -84,7 +98,7 @@ func preflight(seed int64) {
 		if rep.HasErrors() {
 			fmt.Fprintf(os.Stderr, "afdx-experiments: %s: infeasible configuration (use -no-lint to bypass):\n", net.Name)
 			rep.WriteText(os.Stderr)
-			os.Exit(3)
+			sess.Exit(3)
 		}
 	}
 }

@@ -6,6 +6,11 @@
 //
 //	afdx-gen -seed 1 -out industrial.json
 //	afdx-gen -seed 1 -vls 200 -switches 4 -es-per-switch 6 -out small.json
+//
+// The shared observability flags (-cpuprofile, -memprofile, -trace,
+// -metrics, -tracefile, -spantree; see internal/obs/cliobs) are
+// accepted for uniformity with the analysis commands; generation
+// itself registers no engine metrics.
 package main
 
 import (
@@ -15,7 +20,17 @@ import (
 	"os"
 
 	"afdx"
+	"afdx/internal/obs/cliobs"
 )
+
+// sess flushes the observability artifacts on every exit path.
+var sess *cliobs.Session
+
+// fatal prints the error and exits through the observability session.
+func fatal(v ...any) {
+	log.Print(v...)
+	sess.Exit(1)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -31,7 +46,13 @@ func main() {
 		dot       = flag.Bool("dot", false, "emit Graphviz DOT topology instead of JSON")
 		redundant = flag.Bool("redundant", false, "mirror into the dual A/B network (ARINC 664 redundancy)")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
+	var err error
+	if sess, err = obsFlags.Start(); err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
 
 	spec := afdx.DefaultGeneratorSpec(*seed)
 	if *vls > 0 {
@@ -48,12 +69,12 @@ func main() {
 	}
 	net, err := afdx.Generate(spec)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if *redundant {
 		net, err = afdx.Mirror(net)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if !*quiet {
@@ -64,20 +85,21 @@ func main() {
 	}
 	if *dot {
 		if err := net.WriteDOT(os.Stdout); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		return
+		sess.Exit(0)
 	}
 	if *out == "" {
 		if err := net.WriteJSON(os.Stdout); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		return
+		sess.Exit(0)
 	}
 	if err := net.SaveJSON(*out); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
+	sess.Exit(0)
 }

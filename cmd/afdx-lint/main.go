@@ -1,5 +1,5 @@
 // Command afdx-lint statically analyses AFDX configuration files and
-// reports coded diagnostics (AFDX001..AFDX012): port stability, routing
+// reports coded diagnostics (AFDX001..AFDX013): port stability, routing
 // loops, ARINC 664 contract violations, multicast-tree well-formedness,
 // end-system jitter budgets, deadline feasibility, and more — every
 // infeasibility the delay engines would reject, caught in microseconds
@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"afdx"
+	"afdx/internal/obs/cliobs"
 )
 
 func main() {
@@ -34,15 +35,22 @@ func main() {
 		relaxed  = flag.Bool("relaxed", false, "relax ARINC 664 contract validation (sweep values become warnings)")
 		format   = flag.String("format", "text", "output format: text | json | sarif")
 		headroom = flag.Float64("headroom", 0.95, "port-utilization fraction above which a warning is emitted")
+		budget   = flag.Float64("link-budget", 0.75, "link admission budget: AFDX013 warns when a link's contracted rate exceeds this fraction of the link rate")
 		rules    = flag.Bool("rules", false, "list the registered analyzers with their codes and exit")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
+	sess, err := obsFlags.Start()
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
 
 	if *rules {
 		for _, a := range afdx.LintAnalyzers() {
 			fmt.Printf("%s %-15s %s\n", a.Code, a.Name, a.Doc)
 		}
-		return
+		sess.Exit(0)
 	}
 
 	files := flag.Args()
@@ -51,11 +59,12 @@ func main() {
 	}
 	if len(files) == 0 {
 		flag.Usage()
-		os.Exit(2)
+		sess.Exit(2)
 	}
 
 	opts := afdx.DefaultLintOptions()
 	opts.UtilizationHeadroom = *headroom
+	opts.LinkUtilizationWarn = *budget
 	if *relaxed {
 		opts.Mode = afdx.Relaxed
 	}
@@ -71,7 +80,7 @@ func main() {
 			worst = code
 		}
 	}
-	os.Exit(worst)
+	sess.Exit(worst)
 }
 
 // lintFile lints one configuration file and returns its exit code.

@@ -21,9 +21,19 @@ import (
 	"strings"
 
 	"afdx"
+	"afdx/internal/obs/cliobs"
 	"afdx/internal/report"
 	"afdx/internal/stats"
 )
+
+// sess flushes the observability artifacts on every exit path.
+var sess *cliobs.Session
+
+// fatal prints the error and exits through the observability session.
+func fatal(v ...any) {
+	log.Print(v...)
+	sess.Exit(1)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -43,18 +53,25 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
 		histogram  = flag.String("histogram", "", "print the delay distribution of one path (e.g. v1/0)")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 	if *config == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var err error
+	if sess, err = obsFlags.Start(); err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	ctx := sess.Context()
 	mode := afdx.Strict
 	if *relaxed {
 		mode = afdx.Relaxed
 	}
 	net, err := afdx.LoadJSON(*config, mode)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if !*noLint {
 		opts := afdx.DefaultLintOptions()
@@ -62,12 +79,12 @@ func main() {
 		if rep := afdx.Lint(net, opts); rep.HasErrors() {
 			fmt.Fprintln(os.Stderr, "afdx-sim: infeasible configuration (use -no-lint to bypass):")
 			rep.WriteText(os.Stderr)
-			os.Exit(3)
+			sess.Exit(3)
 		}
 	}
 	pg, err := afdx.BuildPortGraph(net, mode)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cfg := afdx.DefaultSimConfig(*seed)
 	cfg.DurationUs = *durationMs * 1000
@@ -79,9 +96,9 @@ func main() {
 		cfg.Model = afdx.PeriodicJitterSources
 		cfg.JitterUs = *jitterUs
 	}
-	res, err := afdx.Simulate(pg, cfg)
+	res, err := afdx.SimulateCtx(ctx, pg, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	var cmp *afdx.Comparison
@@ -90,9 +107,9 @@ func main() {
 		trOpts := afdx.DefaultTrajectoryOptions()
 		ncOpts.Parallel = *parallelN
 		trOpts.Parallel = *parallelN
-		cmp, err = afdx.CompareWith(pg, ncOpts, trOpts)
+		cmp, err = afdx.CompareWithCtx(ctx, pg, ncOpts, trOpts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
@@ -125,7 +142,7 @@ func main() {
 		emit = report.CSV
 	}
 	if err := emit(os.Stdout, headers, rows); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("emitted %d frames, dropped %d by policing, global max delay %.2f us\n",
 		res.FramesEmitted, res.FramesDropped, res.MaxDelayUs())
@@ -141,9 +158,10 @@ func main() {
 		}
 		delays := res.FrameDelays[afdx.PathID{VL: vl, PathIdx: idx}]
 		if len(delays) == 0 {
-			log.Fatalf("no frames observed on path %s/%d", vl, idx)
+			fatal(fmt.Sprintf("no frames observed on path %s/%d", vl, idx))
 		}
 		fmt.Printf("\ndelay distribution of %s/%d (%s):\n", vl, idx, stats.Summarize(delays))
 		fmt.Print(stats.RenderHistogram(stats.Histogram(delays, 12), 40))
 	}
+	sess.Exit(0)
 }

@@ -3,6 +3,7 @@ package afdx
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // PortID identifies an output port by the directed link it transmits on:
@@ -102,6 +103,12 @@ type PortGraph struct {
 	// q immediately before port p, then q precedes p in Order.
 	Order []PortID
 	paths map[PathID][]PortID
+
+	// ranks memoizes Ranks(): the grouping is derived data, queried by
+	// both the parallel schedulers and the observability layer, and the
+	// graph is immutable once built.
+	ranksOnce sync.Once
+	ranks     [][]PortID
 }
 
 // BuildPortGraph derives the port-level view of the network. It returns
@@ -235,6 +242,11 @@ func (pg *PortGraph) topoOrder() ([]PortID, error) {
 // rank r's ports concurrently; ranks are returned in dependency order
 // and each rank is sorted canonically for deterministic scheduling.
 func (pg *PortGraph) Ranks() [][]PortID {
+	pg.ranksOnce.Do(func() { pg.ranks = pg.computeRanks() })
+	return pg.ranks
+}
+
+func (pg *PortGraph) computeRanks() [][]PortID {
 	pred := map[PortID][]PortID{}
 	seen := map[[2]PortID]bool{}
 	for _, seq := range pg.paths {
@@ -315,6 +327,45 @@ func (pg *PortGraph) MinPathDelayUs(id PathID) (float64, error) {
 		total += p.LatencyUs + vl.CMinUs(p.RateBitsPerUs)
 	}
 	return total, nil
+}
+
+// Links lists the distinct directed links (output ports) the VL's paths
+// cross, in path order of first crossing.
+func (v *VirtualLink) Links() []PortID {
+	seen := map[PortID]bool{}
+	var out []PortID
+	for _, path := range v.Paths {
+		for k := 0; k+1 < len(path); k++ {
+			id := PortID{From: path[k], To: path[k+1]}
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// LinkLoads returns, for every directed link some VL path crosses, the
+// aggregate long-term contract rate Σ s_max/BAG in bits/us, computed
+// from the paths directly — no derived port graph needed, so it works
+// on configurations the structural checks reject. It is the batch form
+// of the bookkeeping configgen's admission gate maintains incrementally
+// while placing VLs, and feeds the AFDX013 lint analyzer. VLs with a
+// non-positive BAG or frame size are skipped — the contract
+// diagnostics (AFDX004/AFDX005) own those defects.
+func (n *Network) LinkLoads() map[PortID]float64 {
+	loads := map[PortID]float64{}
+	for _, vl := range n.VLs {
+		if vl == nil || vl.BAGMs <= 0 || vl.SMaxBytes <= 0 {
+			continue
+		}
+		rho := vl.RhoBitsPerUs()
+		for _, p := range vl.Links() {
+			loads[p] += rho
+		}
+	}
+	return loads
 }
 
 // UtilizationReport lists, for every port, the aggregate long-term rate

@@ -262,6 +262,29 @@ func TestUtilizationReport(t *testing.T) {
 	}
 }
 
+// TestLinkLoadsMatchesUtilizationReport checks the two load views agree:
+// Network.LinkLoads (consumed by the configuration generator's admission
+// gate and the AFDX013 analyzer) divided by the link rate must equal the
+// port graph's UtilizationReport on every port the graph derives.
+func TestLinkLoadsMatchesUtilizationReport(t *testing.T) {
+	net := Figure2Config()
+	pg, err := BuildPortGraph(net, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := pg.UtilizationReport()
+	loads := net.LinkLoads()
+	if len(loads) != len(u) {
+		t.Fatalf("LinkLoads covers %d links, UtilizationReport %d ports", len(loads), len(u))
+	}
+	for id, util := range u {
+		got := loads[id] / pg.Ports[id].RateBitsPerUs
+		if diff := got - util; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("link %v: LinkLoads utilization %g, UtilizationReport %g", id, got, util)
+		}
+	}
+}
+
 func TestVLEntersPortFromTwoLinksRejected(t *testing.T) {
 	n := Figure2Config()
 	// Give v1 a second path that re-enters S3->e6 from another direction.

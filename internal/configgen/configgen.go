@@ -293,20 +293,12 @@ func (g *generator) drawPaths(src string) [][]string {
 	return paths
 }
 
-// vlPorts lists the distinct output ports a VL crosses.
+// vlPorts lists the distinct output ports a VL crosses. The shared
+// implementation (afdx.VirtualLink.Links) also feeds Network.LinkLoads,
+// so the admission gate below and the AFDX013 lint analyzer can never
+// disagree about which links a VL loads.
 func vlPorts(vl *afdx.VirtualLink) []afdx.PortID {
-	seen := map[afdx.PortID]bool{}
-	var out []afdx.PortID
-	for _, path := range vl.Paths {
-		for k := 0; k+1 < len(path); k++ {
-			id := afdx.PortID{From: path[k], To: path[k+1]}
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
-			}
-		}
-	}
-	return out
+	return vl.Links()
 }
 
 func (g *generator) fits(vl *afdx.VirtualLink) bool {

@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -10,6 +11,7 @@ import (
 
 	"afdx/internal/afdx"
 	"afdx/internal/configgen"
+	"afdx/internal/obs"
 	"afdx/internal/parallel"
 )
 
@@ -128,12 +130,31 @@ func campaignSpec(campaignSeed int64, i int) configgen.Spec {
 // check the invariant lattice on each, shrink and record every
 // violation, and assemble the deterministic report.
 func Run(opts Options) (*Report, error) {
+	return RunCtx(context.Background(), opts)
+}
+
+// RunCtx is Run with observability: the campaign opens a "campaign"
+// span, each configuration a "config:<i>" child, and the engines'
+// spans and counters nest beneath those. The checked/violation
+// counters are BestEffort — a time budget makes the set of checked
+// configurations scheduling-dependent — but the report itself stays
+// identical across worker counts, as before.
+func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 	if opts.N <= 0 {
 		return nil, fmt.Errorf("conformance: N must be positive, got %d", opts.N)
 	}
 	oracle := opts.Oracle
 	if oracle == nil {
 		oracle = NewOracle()
+	}
+	ctx, span := obs.StartSpan(ctx, "campaign")
+	defer span.End()
+	var checked, violations *obs.Counter
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		checked = reg.Counter("conformance.configs_checked", obs.BestEffort,
+			"configurations the oracle fully checked (budget skips excluded)")
+		violations = reg.Counter("conformance.violations", obs.BestEffort,
+			"invariant violations found across the campaign")
 	}
 	start := time.Now()
 	deadline := time.Time{}
@@ -142,7 +163,9 @@ func Run(opts Options) (*Report, error) {
 	}
 
 	verdicts := make([]ConfigVerdict, opts.N)
-	err := parallel.ForEach(opts.Parallel, opts.N, func(i int) error {
+	err := parallel.ForEachCtx(ctx, opts.Parallel, opts.N, func(i int) error {
+		cctx, cspan := obs.StartSpan(ctx, fmt.Sprintf("config:%d", i))
+		defer cspan.End()
 		spec := campaignSpec(opts.Seed, i)
 		v := ConfigVerdict{Index: i, Seed: spec.Seed}
 		defer func() { verdicts[i] = v }()
@@ -157,14 +180,16 @@ func Run(opts Options) (*Report, error) {
 		}
 		st := net.ComputeStats()
 		v.VLs, v.Paths = st.NumVLs, st.NumPaths
-		vs, err := oracle.Check(net)
+		vs, err := oracle.CheckCtx(cctx, net)
 		if err != nil {
 			v.GenError = err.Error()
 			return nil
 		}
+		checked.Inc()
+		violations.Add(int64(len(vs)))
 		v.Violations = vs
 		if len(vs) > 0 && opts.CorpusDir != "" {
-			v.ShrunkFile, v.ShrunkVLs = shrinkToCorpus(oracle, net, vs, opts)
+			v.ShrunkFile, v.ShrunkVLs = shrinkToCorpus(cctx, oracle, net, vs, opts)
 		}
 		return nil
 	})
@@ -196,9 +221,9 @@ func Run(opts Options) (*Report, error) {
 // writes it to the replay corpus; it returns the file path (or "" when
 // writing fails — the violation itself is still reported) and the
 // minimised VL count.
-func shrinkToCorpus(oracle *Oracle, net *afdx.Network, vs []Violation, opts Options) (string, int) {
+func shrinkToCorpus(ctx context.Context, oracle *Oracle, net *afdx.Network, vs []Violation, opts Options) (string, int) {
 	inv := vs[0].Invariant
-	small := oracle.Shrink(net, inv, opts.ShrinkBudget)
+	small := oracle.ShrinkCtx(ctx, net, inv, opts.ShrinkBudget)
 	if err := os.MkdirAll(opts.CorpusDir, 0o755); err != nil {
 		return "", 0
 	}

@@ -1,6 +1,8 @@
 package conformance
 
 import (
+	"context"
+
 	"afdx/internal/afdx"
 	"afdx/internal/netcalc"
 	"afdx/internal/trajectory"
@@ -27,8 +29,8 @@ func FaultyOracle(f Fault) *Oracle {
 	switch f {
 	case FaultNCOptimistic:
 		real := o.Engines.NC
-		o.Engines.NC = func(pg *afdx.PortGraph, opts netcalc.Options) (*netcalc.Result, error) {
-			r, err := real(pg, opts)
+		o.Engines.NC = func(ctx context.Context, pg *afdx.PortGraph, opts netcalc.Options) (*netcalc.Result, error) {
+			r, err := real(ctx, pg, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -41,8 +43,8 @@ func FaultyOracle(f Fault) *Oracle {
 		}
 	case FaultTrajectoryOptimistic:
 		real := o.Engines.Trajectory
-		o.Engines.Trajectory = func(pg *afdx.PortGraph, opts trajectory.Options) (*trajectory.Result, error) {
-			r, err := real(pg, opts)
+		o.Engines.Trajectory = func(ctx context.Context, pg *afdx.PortGraph, opts trajectory.Options) (*trajectory.Result, error) {
+			r, err := real(ctx, pg, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -27,6 +27,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -95,21 +96,24 @@ func (v Violation) String() string {
 
 // Engines bundles the analysis entry points the oracle drives. Tests
 // inject faulty wrappers here to prove the oracle catches engine bugs;
-// production use keeps DefaultEngines.
+// production use keeps DefaultEngines. Each entry point takes the
+// observability context (see internal/obs): the oracle threads the
+// campaign's context through so engine spans and counters nest under
+// the per-configuration span.
 type Engines struct {
-	NC         func(pg *afdx.PortGraph, opts netcalc.Options) (*netcalc.Result, error)
-	Trajectory func(pg *afdx.PortGraph, opts trajectory.Options) (*trajectory.Result, error)
-	Sim        func(pg *afdx.PortGraph, cfg sim.Config) (*sim.Result, error)
-	Exact      func(pg *afdx.PortGraph, opts exact.Options) (*exact.Result, error)
+	NC         func(ctx context.Context, pg *afdx.PortGraph, opts netcalc.Options) (*netcalc.Result, error)
+	Trajectory func(ctx context.Context, pg *afdx.PortGraph, opts trajectory.Options) (*trajectory.Result, error)
+	Sim        func(ctx context.Context, pg *afdx.PortGraph, cfg sim.Config) (*sim.Result, error)
+	Exact      func(ctx context.Context, pg *afdx.PortGraph, opts exact.Options) (*exact.Result, error)
 }
 
 // DefaultEngines returns the real analysis engines.
 func DefaultEngines() Engines {
 	return Engines{
-		NC:         netcalc.Analyze,
-		Trajectory: trajectory.Analyze,
-		Sim:        sim.Run,
-		Exact:      exact.Search,
+		NC:         netcalc.AnalyzeCtx,
+		Trajectory: trajectory.AnalyzeCtx,
+		Sim:        sim.RunCtx,
+		Exact:      exact.SearchCtx,
 	}
 }
 
@@ -164,6 +168,14 @@ func leq(a, b float64) bool {
 // not a conformance violation: infeasible inputs are the linter's
 // domain, not the oracle's).
 func (o *Oracle) Check(net *afdx.Network) ([]Violation, error) {
+	return o.CheckCtx(context.Background(), net)
+}
+
+// CheckCtx is Check with observability threaded through the context:
+// every engine run the oracle performs inherits ctx's registry and
+// tracer, so a traced campaign shows the full lattice of runs nested
+// under each configuration's span.
+func (o *Oracle) CheckCtx(ctx context.Context, net *afdx.Network) ([]Violation, error) {
 	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
 	if err != nil {
 		return nil, fmt.Errorf("conformance: %w", err)
@@ -171,19 +183,19 @@ func (o *Oracle) Check(net *afdx.Network) ([]Violation, error) {
 	var vs []Violation
 
 	// Sequential reference runs of the four engine variants.
-	ncG, err := o.Engines.NC(pg, netcalc.Options{Grouping: true, Parallel: 1})
+	ncG, err := o.Engines.NC(ctx, pg, netcalc.Options{Grouping: true, Parallel: 1})
 	if err != nil {
 		return nil, fmt.Errorf("conformance: netcalc (grouped): %w", err)
 	}
-	ncU, err := o.Engines.NC(pg, netcalc.Options{Grouping: false, Parallel: 1})
+	ncU, err := o.Engines.NC(ctx, pg, netcalc.Options{Grouping: false, Parallel: 1})
 	if err != nil {
 		return nil, fmt.Errorf("conformance: netcalc (ungrouped): %w", err)
 	}
-	trG, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: true, Parallel: 1})
+	trG, err := o.Engines.Trajectory(ctx, pg, trajectory.Options{Grouping: true, Parallel: 1})
 	if err != nil {
 		return nil, fmt.Errorf("conformance: trajectory (grouped): %w", err)
 	}
-	trU, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: false, Parallel: 1})
+	trU, err := o.Engines.Trajectory(ctx, pg, trajectory.Options{Grouping: false, Parallel: 1})
 	if err != nil {
 		return nil, fmt.Errorf("conformance: trajectory (ungrouped): %w", err)
 	}
@@ -204,7 +216,7 @@ func (o *Oracle) Check(net *afdx.Network) ([]Violation, error) {
 	// computed over the same engine results the oracle holds. core
 	// re-runs the real engines, so this also cross-checks the oracle's
 	// (possibly fault-injected) engines against the library's.
-	cmp, err := core.CompareWith(pg,
+	cmp, err := core.CompareWithCtx(ctx, pg,
 		netcalc.Options{Grouping: true, Parallel: 1},
 		trajectory.Options{Grouping: true, Parallel: 1})
 	if err != nil {
@@ -225,15 +237,15 @@ func (o *Oracle) Check(net *afdx.Network) ([]Violation, error) {
 
 	// Parallel parity and repeatability: bit-identical results across
 	// worker counts and across repeated runs.
-	vs = append(vs, o.checkDeterminism(pg, ncG, trG)...)
+	vs = append(vs, o.checkDeterminism(ctx, pg, ncG, trG)...)
 
 	// Behavioural tier: simulation (pinned and randomized offsets) and,
 	// on small configurations, the exact offset search.
-	vs = append(vs, o.checkBehaviour(pg, ncG, trU)...)
+	vs = append(vs, o.checkBehaviour(ctx, pg, ncG, trU)...)
 
 	// Metamorphic tier: tightening a contract never loosens any bound.
 	if !o.SkipMetamorphic {
-		mvs, err := o.checkMetamorphic(net, ncG, trU)
+		mvs, err := o.checkMetamorphic(ctx, net, ncG, trU)
 		if err != nil {
 			return nil, err
 		}
@@ -254,26 +266,26 @@ func (o *Oracle) Check(net *afdx.Network) ([]Violation, error) {
 
 // checkDeterminism asserts parallel parity and run-to-run repeatability
 // of both engines against the sequential reference results.
-func (o *Oracle) checkDeterminism(pg *afdx.PortGraph, ncRef *netcalc.Result, trRef *trajectory.Result) []Violation {
+func (o *Oracle) checkDeterminism(ctx context.Context, pg *afdx.PortGraph, ncRef *netcalc.Result, trRef *trajectory.Result) []Violation {
 	var vs []Violation
 	workers := o.ParityWorkers
 	if workers <= 0 {
 		workers = 4
 	}
-	if ncPar, err := o.Engines.NC(pg, netcalc.Options{Grouping: true, Parallel: workers}); err != nil {
+	if ncPar, err := o.Engines.NC(ctx, pg, netcalc.Options{Grouping: true, Parallel: workers}); err != nil {
 		vs = append(vs, Violation{InvParallelParity, afdx.PathID{}, 0, 0, "netcalc parallel run failed: " + err.Error()})
 	} else {
 		vs = append(vs, diffPathDelays(InvParallelParity, "netcalc", ncRef.PathDelays, ncPar.PathDelays)...)
 	}
-	if trPar, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: true, Parallel: workers}); err != nil {
+	if trPar, err := o.Engines.Trajectory(ctx, pg, trajectory.Options{Grouping: true, Parallel: workers}); err != nil {
 		vs = append(vs, Violation{InvParallelParity, afdx.PathID{}, 0, 0, "trajectory parallel run failed: " + err.Error()})
 	} else {
 		vs = append(vs, diffPathDelays(InvParallelParity, "trajectory", trRef.PathDelays, trPar.PathDelays)...)
 	}
-	if ncAgain, err := o.Engines.NC(pg, netcalc.Options{Grouping: true, Parallel: 1}); err == nil {
+	if ncAgain, err := o.Engines.NC(ctx, pg, netcalc.Options{Grouping: true, Parallel: 1}); err == nil {
 		vs = append(vs, diffPathDelays(InvRepeatability, "netcalc", ncRef.PathDelays, ncAgain.PathDelays)...)
 	}
-	if trAgain, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: true, Parallel: 1}); err == nil {
+	if trAgain, err := o.Engines.Trajectory(ctx, pg, trajectory.Options{Grouping: true, Parallel: 1}); err == nil {
 		vs = append(vs, diffPathDelays(InvRepeatability, "trajectory", trRef.PathDelays, trAgain.PathDelays)...)
 	}
 	return vs
@@ -294,7 +306,7 @@ func diffPathDelays(inv Invariant, engine string, a, b map[afdx.PathID]float64) 
 
 // checkBehaviour runs the simulator (and on small configurations the
 // exact search) and asserts the observed ≤ achievable ≤ bound chain.
-func (o *Oracle) checkBehaviour(pg *afdx.PortGraph, ncG *netcalc.Result, trU *trajectory.Result) []Violation {
+func (o *Oracle) checkBehaviour(ctx context.Context, pg *afdx.PortGraph, ncG *netcalc.Result, trU *trajectory.Result) []Violation {
 	var vs []Violation
 	maxBag := 0.0
 	for _, v := range pg.Net.VLs {
@@ -325,7 +337,7 @@ func (o *Oracle) checkBehaviour(pg *afdx.PortGraph, ncG *netcalc.Result, trU *tr
 	for _, v := range pg.Net.VLs {
 		pinned[v.ID] = 0
 	}
-	pinnedRes, err := o.Engines.Sim(pg, sim.Config{
+	pinnedRes, err := o.Engines.Sim(ctx, pg, sim.Config{
 		Model: sim.GreedySources, DurationUs: horizon, OffsetsUs: pinned,
 	})
 	if err != nil {
@@ -335,7 +347,7 @@ func (o *Oracle) checkBehaviour(pg *afdx.PortGraph, ncG *netcalc.Result, trU *tr
 	checkSim(pinnedRes, "pinned offsets (all zero)")
 
 	// Randomized run: seeded random offsets over a longer horizon.
-	randRes, err := o.Engines.Sim(pg, sim.Config{
+	randRes, err := o.Engines.Sim(ctx, pg, sim.Config{
 		Model: sim.GreedySources, DurationUs: 4 * maxBag, Seed: o.SimSeed,
 	})
 	if err != nil {
@@ -356,7 +368,7 @@ func (o *Oracle) checkBehaviour(pg *afdx.PortGraph, ncG *netcalc.Result, trU *tr
 	for _, v := range pg.Net.VLs {
 		minBag = math.Min(minBag, v.BAGUs())
 	}
-	ex, err := o.Engines.Exact(pg, exact.Options{
+	ex, err := o.Engines.Exact(ctx, pg, exact.Options{
 		GridUs:     minBag / float64(div),
 		Refine:     2,
 		MaxCombos:  1 << 14,
@@ -382,7 +394,7 @@ func (o *Oracle) checkBehaviour(pg *afdx.PortGraph, ncG *netcalc.Result, trU *tr
 // checkMetamorphic re-analyses two contract-tightened mutants of the
 // network — one VL's BAG doubled, one VL's s_max halved — and asserts
 // no path bound of either (sound-variant) engine increased.
-func (o *Oracle) checkMetamorphic(net *afdx.Network, ncG *netcalc.Result, trU *trajectory.Result) ([]Violation, error) {
+func (o *Oracle) checkMetamorphic(ctx context.Context, net *afdx.Network, ncG *netcalc.Result, trU *trajectory.Result) ([]Violation, error) {
 	var vs []Violation
 	rng := rand.New(rand.NewSource(o.SimSeed))
 	pick := func(ok func(*afdx.VirtualLink) bool) *afdx.VirtualLink {
@@ -403,11 +415,11 @@ func (o *Oracle) checkMetamorphic(net *afdx.Network, ncG *netcalc.Result, trU *t
 		if err != nil {
 			return fmt.Errorf("conformance: mutant (%s): %w", what, err)
 		}
-		nc, err := o.Engines.NC(pg, netcalc.Options{Grouping: true, Parallel: 1})
+		nc, err := o.Engines.NC(ctx, pg, netcalc.Options{Grouping: true, Parallel: 1})
 		if err != nil {
 			return fmt.Errorf("conformance: mutant netcalc (%s): %w", what, err)
 		}
-		tr, err := o.Engines.Trajectory(pg, trajectory.Options{Grouping: false, Parallel: 1})
+		tr, err := o.Engines.Trajectory(ctx, pg, trajectory.Options{Grouping: false, Parallel: 1})
 		if err != nil {
 			return fmt.Errorf("conformance: mutant trajectory (%s): %w", what, err)
 		}

@@ -2,8 +2,10 @@ package conformance
 
 import (
 	"bytes"
+	"context"
 
 	"afdx/internal/afdx"
+	"afdx/internal/obs"
 )
 
 // cloneNetwork deep-copies a network through its JSON codec (the codec
@@ -32,6 +34,23 @@ func cloneNetwork(n *afdx.Network) *afdx.Network {
 // tier disabled: mutants of mutants slow convergence without changing
 // what the replay corpus pins (the corpus re-runs the full lattice).
 func (o *Oracle) Shrink(net *afdx.Network, inv Invariant, budget int) *afdx.Network {
+	return o.ShrinkCtx(context.Background(), net, inv, budget)
+}
+
+// ShrinkCtx is Shrink with observability: the minimisation runs under
+// a "shrink" span, and the context registry counts kept transformation
+// steps and oracle re-runs (both BestEffort: shrinking only happens
+// after a violation, whose discovery may itself be budget-dependent).
+func (o *Oracle) ShrinkCtx(ctx context.Context, net *afdx.Network, inv Invariant, budget int) *afdx.Network {
+	ctx, span := obs.StartSpan(ctx, "shrink")
+	defer span.End()
+	var steps, runs *obs.Counter
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		steps = reg.Counter("conformance.shrink_steps", obs.BestEffort,
+			"structure-removing transformations the shrinker kept")
+		runs = reg.Counter("conformance.shrink_oracle_runs", obs.BestEffort,
+			"oracle re-runs spent minimising violating configurations")
+	}
 	if budget <= 0 {
 		budget = 200
 	}
@@ -43,12 +62,14 @@ func (o *Oracle) Shrink(net *afdx.Network, inv Invariant, budget int) *afdx.Netw
 			return false
 		}
 		evals++
-		vs, err := inner.Check(cand)
+		runs.Inc()
+		vs, err := inner.CheckCtx(ctx, cand)
 		if err != nil {
 			return false // a candidate the engines reject is no repro
 		}
 		for _, v := range vs {
 			if v.Invariant == inv {
+				steps.Inc() // the candidate reproduces: this transformation is kept
 				return true
 			}
 		}

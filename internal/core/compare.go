@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -51,14 +52,27 @@ func Compare(pg *afdx.PortGraph) (*Comparison, error) {
 	return CompareWith(pg, netcalc.DefaultOptions(), trajectory.DefaultOptions())
 }
 
+// CompareCtx is Compare with observability threaded through the
+// context (see the engines' AnalyzeCtx).
+func CompareCtx(ctx context.Context, pg *afdx.PortGraph) (*Comparison, error) {
+	return CompareWithCtx(ctx, pg, netcalc.DefaultOptions(), trajectory.DefaultOptions())
+}
+
 // CompareWith runs both analyses with explicit options and assembles the
 // per-path comparison.
 func CompareWith(pg *afdx.PortGraph, ncOpts netcalc.Options, trOpts trajectory.Options) (*Comparison, error) {
-	nc, err := netcalc.Analyze(pg, ncOpts)
+	return CompareWithCtx(context.Background(), pg, ncOpts, trOpts)
+}
+
+// CompareWithCtx is CompareWith with observability threaded through
+// the context: each engine opens its own span and registers its own
+// counters when ctx carries a tracer or registry.
+func CompareWithCtx(ctx context.Context, pg *afdx.PortGraph, ncOpts netcalc.Options, trOpts trajectory.Options) (*Comparison, error) {
+	nc, err := netcalc.AnalyzeCtx(ctx, pg, ncOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: network calculus analysis: %w", err)
 	}
-	tr, err := trajectory.Analyze(pg, trOpts)
+	tr, err := trajectory.AnalyzeCtx(ctx, pg, trOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: trajectory analysis: %w", err)
 	}

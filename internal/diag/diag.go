@@ -106,6 +106,10 @@ const (
 	// CodeAttachment marks end systems attached to more than one switch
 	// (the ARINC 664 topology rule).
 	CodeAttachment Code = "AFDX012"
+	// CodeLinkUtilization marks links whose aggregate VL contract rate
+	// Σ s_max/BAG exceeds the admission budget (Warning above the
+	// configured fraction, Error at or above the full link rate).
+	CodeLinkUtilization Code = "AFDX013"
 )
 
 // Location pins a diagnostic inside the configuration. Zero fields are

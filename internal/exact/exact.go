@@ -15,10 +15,12 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"afdx/internal/afdx"
+	"afdx/internal/obs"
 	"afdx/internal/sim"
 )
 
@@ -64,6 +66,7 @@ func (r *Result) MaxDelayUs() float64 {
 }
 
 type searcher struct {
+	ctx   context.Context
 	pg    *afdx.PortGraph
 	opts  Options
 	res   *Result
@@ -74,6 +77,16 @@ type searcher struct {
 // delays found. It fails when the grid enumeration would exceed
 // MaxCombos.
 func Search(pg *afdx.PortGraph, opts Options) (*Result, error) {
+	return SearchCtx(context.Background(), pg, opts)
+}
+
+// SearchCtx is Search with observability: the run is wrapped in an
+// "exact" span (each simulator evaluation appears as a "sim" child),
+// and the evaluation count lands in the context registry. The search
+// is fully deterministic, so both are too.
+func SearchCtx(ctx context.Context, pg *afdx.PortGraph, opts Options) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "exact")
+	defer span.End()
 	vls := pg.Net.VLs
 	if len(vls) == 0 {
 		return nil, fmt.Errorf("exact: no virtual links")
@@ -115,6 +128,7 @@ func Search(pg *afdx.PortGraph, opts Options) (*Result, error) {
 	}
 
 	s := &searcher{
+		ctx:  ctx,
 		pg:   pg,
 		opts: opts,
 		res: &Result{
@@ -154,6 +168,10 @@ func Search(pg *afdx.PortGraph, opts Options) (*Result, error) {
 		}
 	}
 	s.res.Evaluations = s.evals
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		reg.Counter("exact.evaluations", obs.Deterministic,
+			"simulator runs performed by the offset search").Add(int64(s.evals))
+	}
 	return s.res, nil
 }
 
@@ -166,7 +184,7 @@ func (s *searcher) evaluate(offsets map[string]float64) error {
 		DurationUs: s.opts.DurationUs,
 		OffsetsUs:  offsets,
 	}
-	r, err := sim.Run(s.pg, cfg)
+	r, err := sim.RunCtx(s.ctx, s.pg, cfg)
 	if err != nil {
 		return err
 	}
@@ -226,7 +244,7 @@ func (s *searcher) evaluatePath(pid afdx.PathID, offsets map[string]float64) (fl
 		DurationUs: s.opts.DurationUs,
 		OffsetsUs:  offsets,
 	}
-	r, err := sim.Run(s.pg, cfg)
+	r, err := sim.RunCtx(s.ctx, s.pg, cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -38,7 +38,7 @@ var (
 // paths. Generation and analysis are deterministic per seed (and per
 // the engines' reproducibility contract, independent of cfg.Parallel),
 // so the per-seed result is computed once and shared; the first
-// caller's worker-pool bound wins.
+// caller's worker-pool bound and observability context win.
 func Industrial(cfg Config) (*IndustrialResult, error) {
 	industrialMu.Lock()
 	e := industrialCache[cfg.Seed]
@@ -61,7 +61,7 @@ func buildIndustrial(cfg Config) (*IndustrialResult, error) {
 		return nil, fmt.Errorf("experiments: industrial port graph: %w", err)
 	}
 	ncOpts, trOpts := cfg.engineOptions()
-	cmp, err := core.CompareWith(pg, ncOpts, trOpts)
+	cmp, err := core.CompareWithCtx(cfg.context(), pg, ncOpts, trOpts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: industrial comparison: %w", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -20,6 +21,19 @@ type Config struct {
 	// the engines' determinism contract makes every worker count
 	// produce bit-identical tables.
 	Parallel int
+	// Ctx, when non-nil, carries the observability registry and tracer
+	// (see internal/obs) into the engine runs. Nil means background:
+	// no metrics, no spans, same results.
+	Ctx context.Context
+}
+
+// context returns the run's observability context, defaulting to
+// Background.
+func (cfg Config) context() context.Context {
+	if cfg.Ctx != nil {
+		return cfg.Ctx
+	}
+	return context.Background()
 }
 
 // engineOptions returns the paper-default engine options with the

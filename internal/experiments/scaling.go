@@ -38,7 +38,7 @@ func Scaling(cfg Config, sizes []int) ([]ScalingRow, error) {
 			return nil, err
 		}
 		start := time.Now()
-		cmp, err := core.CompareWith(pg, ncOpts, trOpts)
+		cmp, err := core.CompareWithCtx(cfg.context(), pg, ncOpts, trOpts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scaling %d VLs: %w", n, err)
 		}

@@ -99,6 +99,18 @@ func init() {
 		Run: func(p *Pass) { reportAll(p, p.Net.NetworkDiagnostics()) },
 	})
 	Register(&Analyzer{
+		Code: diag.CodeLinkUtilization, Name: "link-utilization",
+		Doc: "Checks every directed link's aggregate VL contract rate Σ s_max/BAG " +
+			"against the admission budget, sharing the load computation of the " +
+			"configuration generator's gate (afdx.Network.LinkLoads). Utilization " +
+			"above the configured budget (default 75%) is a warning — the " +
+			"bounds the engines certify degrade sharply as links fill — and " +
+			"utilization at or above the full link rate is an error: the " +
+			"busy-period fixpoints diverge at 100%, before the AFDX001 " +
+			"stability frontier strictly above it.",
+		Run: runLinkUtilization,
+	})
+	Register(&Analyzer{
 		Code: diag.CodeAttachment, Name: "es-attachment",
 		Doc: "Checks the ARINC 664 topology rule that an end system attaches to " +
 			"exactly one switch: all paths entering or leaving an end system must " +
@@ -146,6 +158,42 @@ func runStability(p *Pass) {
 				"leave provisioning headroom: bounds grow sharply near saturation",
 				"port %s utilization %.3f exceeds the %.0f%% headroom",
 				id, u, p.Opts.UtilizationHeadroom*100)
+		}
+	}
+}
+
+// runLinkUtilization works from the VL paths directly (no port graph
+// needed), so over-budget links are reported even on configurations the
+// structural analyzers reject.
+func runLinkUtilization(p *Pass) {
+	loads := p.Net.LinkLoads()
+	ids := make([]afdx.PortID, 0, len(loads))
+	for id := range loads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].From != ids[j].From {
+			return ids[i].From < ids[j].From
+		}
+		return ids[i].To < ids[j].To
+	})
+	for _, id := range ids {
+		rate := p.Net.LinkRateBitsPerUs(id.From, id.To)
+		if rate <= 0 {
+			continue // AFDX011 owns non-positive rates
+		}
+		u := loads[id] / rate
+		switch {
+		case u >= 1:
+			p.Reportf(diag.Error, diag.Location{Link: id.String()},
+				"move VLs off the link, raise its rate, or enlarge BAGs: busy periods diverge at full utilization",
+				"link %s admission overrun: contract rate %.3f bits/us is %.1f%% of the link rate",
+				id, loads[id], u*100)
+		case u > p.Opts.LinkUtilizationWarn:
+			p.Reportf(diag.Warning, diag.Location{Link: id.String()},
+				"keep links under the admission budget: certified bounds degrade sharply as links fill",
+				"link %s utilization %.3f exceeds the %.0f%% admission budget",
+				id, u, p.Opts.LinkUtilizationWarn*100)
 		}
 	}
 }

@@ -53,7 +53,7 @@ func TestGoldenCorpus(t *testing.T) {
 		exit  int      // severity exit code (0 clean/info, 1 warnings, 2 errors)
 	}{
 		{"clean.json", []string{}, 0},
-		{"unstable_port.json", []string{"AFDX001"}, 2},
+		{"unstable_port.json", []string{"AFDX001", "AFDX013"}, 2},
 		{"routing_loop.json", []string{"AFDX002"}, 2},
 		{"no_path.json", []string{"AFDX002"}, 2},
 		{"dup_vl.json", []string{"AFDX003"}, 2},
@@ -66,6 +66,7 @@ func TestGoldenCorpus(t *testing.T) {
 		{"orphan.json", []string{"AFDX010"}, 1},
 		{"bad_network.json", []string{"AFDX011"}, 2},
 		{"bad_attach.json", []string{"AFDX012"}, 2},
+		{"overbudget.json", []string{"AFDX013"}, 1},
 		{"multi.json", []string{"AFDX003", "AFDX004", "AFDX010"}, 2},
 	}
 	for _, tc := range cases {

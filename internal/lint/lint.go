@@ -31,12 +31,19 @@ type Options struct {
 	// the stability analyzer emits a Warning even though the port is
 	// still stable. Utilization above 1 is always an Error.
 	UtilizationHeadroom float64
+	// LinkUtilizationWarn is the admission-budget fraction above which
+	// the link-utilization analyzer (AFDX013) warns; at or above the
+	// full link rate it errors. Lower than UtilizationHeadroom: the
+	// admission budget guards provisioning policy, the headroom guards
+	// the stability frontier.
+	LinkUtilizationWarn float64
 }
 
-// DefaultOptions lints with the strict ARINC 664 contract and a 95%
-// utilization headroom warning threshold.
+// DefaultOptions lints with the strict ARINC 664 contract, a 95%
+// utilization headroom warning threshold, and a 75% link admission
+// budget.
 func DefaultOptions() Options {
-	return Options{Mode: afdx.Strict, UtilizationHeadroom: 0.95}
+	return Options{Mode: afdx.Strict, UtilizationHeadroom: 0.95, LinkUtilizationWarn: 0.75}
 }
 
 // An Analyzer is one static check: a stable diagnostic code, a short
@@ -178,6 +185,9 @@ func (r *Report) ExitCode() int {
 func Run(net *afdx.Network, opts Options) *Report {
 	if opts.UtilizationHeadroom <= 0 {
 		opts.UtilizationHeadroom = DefaultOptions().UtilizationHeadroom
+	}
+	if opts.LinkUtilizationWarn <= 0 {
+		opts.LinkUtilizationWarn = DefaultOptions().LinkUtilizationWarn
 	}
 	rep := &Report{Network: net.Name}
 	// The port graph is derived under Relaxed validation so that

@@ -12,6 +12,7 @@
 package netcalc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"afdx/internal/afdx"
 	"afdx/internal/lint"
 	"afdx/internal/minplus"
+	"afdx/internal/obs"
 	"afdx/internal/parallel"
 )
 
@@ -105,6 +107,69 @@ type Result struct {
 // any configuration this engine rejects is flagged by the linter before
 // the analysis is ever invoked.
 func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
+	return AnalyzeCtx(context.Background(), pg, opts)
+}
+
+// ncMetrics is the engine's instrument bundle, resolved once per run
+// from the context registry. All fields may be nil (no registry): the
+// obs instruments no-op on nil receivers. Every netcalc metric is
+// Deterministic — the work set is fixed by the configuration, so the
+// counts are identical across runs and worker counts.
+type ncMetrics struct {
+	ports     *obs.Counter
+	envelopes *obs.Counter
+	betaHits  *obs.Counter
+	betaMiss  *obs.Counter
+	rankSize  *obs.Histogram
+}
+
+func newNCMetrics(reg *obs.Registry) ncMetrics {
+	if reg == nil {
+		return ncMetrics{}
+	}
+	return ncMetrics{
+		ports: reg.Counter("netcalc.ports_analyzed", obs.Deterministic,
+			"output ports analysed (horizontal-deviation bounds computed)"),
+		envelopes: reg.Counter("netcalc.flow_envelopes", obs.Deterministic,
+			"per-flow arrival envelopes built at ports"),
+		betaHits: reg.Counter("netcalc.service_curve_cache_hits", obs.Deterministic,
+			"port service curves served from the (rate, latency) cache"),
+		betaMiss: reg.Counter("netcalc.service_curve_cache_misses", obs.Deterministic,
+			"distinct (rate, latency) service curves constructed"),
+		rankSize: reg.Histogram("netcalc.rank_size", obs.Deterministic,
+			"ports per dependency rank (the per-rank fan-out width)"),
+	}
+}
+
+// ncRun bundles the per-run state threaded through analyzePort: the
+// graph, the shared (merge-only) result, the instrument bundle, and
+// the read-only service-curve cache.
+type ncRun struct {
+	ctx   context.Context
+	pg    *afdx.PortGraph
+	res   *Result
+	m     ncMetrics
+	betas map[betaKey]minplus.Curve
+}
+
+// betaKey identifies a rate-latency service curve. Ports share curves
+// aggressively (an AFDX network has a handful of link speeds), so the
+// cache is precomputed sequentially and read-only afterwards —
+// parallel-safe, and hit counts are exact work counts.
+type betaKey struct {
+	rate    float64
+	latency float64
+}
+
+// AnalyzeCtx is Analyze with observability: when ctx carries an
+// obs.Registry the engine counts ports, envelopes, service-curve cache
+// traffic and rank sizes; when it carries an obs.Tracer the run is
+// wrapped in a "netcalc" span with one "port:<id>" span per port.
+// Observation never influences the computation: results are
+// bit-identical with or without it.
+func AnalyzeCtx(ctx context.Context, pg *afdx.PortGraph, opts Options) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "netcalc")
+	defer span.End()
 	if err := lint.CheckStability(pg); err != nil {
 		return nil, fmt.Errorf("netcalc: %w", err)
 	}
@@ -126,35 +191,50 @@ func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
 			}
 		}
 	}
-	if workers := parallel.Workers(opts.Parallel); workers <= 1 {
-		// Sequential: ports in topological order, merged immediately.
-		for _, id := range pg.Order {
-			out, err := analyzePort(pg, id, res)
-			if err != nil {
-				return nil, err
-			}
-			res.merge(out)
+	rn := &ncRun{
+		ctx: ctx,
+		pg:  pg,
+		res: res,
+		m:   newNCMetrics(obs.RegistryFrom(ctx)),
+	}
+	// Precompute the service-curve cache over the distinct (rate,
+	// latency) pairs; afterwards it is read-only and parallel-safe.
+	rn.betas = make(map[betaKey]minplus.Curve)
+	for _, id := range pg.Order {
+		port := pg.Ports[id]
+		k := betaKey{port.RateBitsPerUs, port.LatencyUs}
+		if _, ok := rn.betas[k]; !ok {
+			rn.betas[k] = minplus.RateLatency(port.RateBitsPerUs, port.LatencyUs)
+			rn.m.betaMiss.Inc()
 		}
-	} else {
-		// Parallel: ports of the same dependency rank are independent —
-		// each reads only results of strictly lower ranks, all merged
-		// before the rank starts — so a rank is a safe fan-out unit.
-		// Outcomes land indexed in a slice and merge in the rank's
-		// canonical order, keeping the Result maps free of concurrent
-		// writes and the run bit-identical to the sequential one.
+	}
+	if rn.m.rankSize != nil {
 		for _, rank := range pg.Ranks() {
-			outs := make([]*portOutcome, len(rank))
-			err := parallel.ForEach(workers, len(rank), func(i int) error {
-				out, err := analyzePort(pg, rank[i], res)
-				outs[i] = out
-				return err
-			})
-			if err != nil {
-				return nil, err
-			}
-			for _, out := range outs {
-				res.merge(out)
-			}
+			rn.m.rankSize.Observe(int64(len(rank)))
+		}
+	}
+	// Ports of the same dependency rank are independent — each reads
+	// only results of strictly lower ranks, all merged before the rank
+	// starts — so a rank is a safe fan-out unit. Outcomes land indexed
+	// in a slice and merge in the rank's canonical order, keeping the
+	// Result maps free of concurrent writes and the run bit-identical
+	// at every worker count. At workers == 1 ForEachCtx degenerates to
+	// an in-order loop, so the sequential analysis shares this code
+	// path — and its metric stream: the pool's deterministic batch and
+	// task counts are identical across worker counts.
+	workers := parallel.Workers(opts.Parallel)
+	for _, rank := range pg.Ranks() {
+		outs := make([]*portOutcome, len(rank))
+		err := parallel.ForEachCtx(ctx, workers, len(rank), func(i int) error {
+			out, err := analyzePort(rn, rank[i])
+			outs[i] = out
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, out := range outs {
+			res.merge(out)
 		}
 	}
 	for _, pid := range pg.Net.AllPaths() {
@@ -230,9 +310,20 @@ func (r *Result) merge(out *portOutcome) {
 	}
 }
 
-func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) (*portOutcome, error) {
+func analyzePort(rn *ncRun, id afdx.PortID) (*portOutcome, error) {
+	pg, res := rn.pg, rn.res
+	_, span := obs.StartSpan(rn.ctx, "port:"+id.String())
+	defer span.End()
+	rn.m.ports.Inc()
 	port := pg.Ports[id]
-	beta := minplus.RateLatency(port.RateBitsPerUs, port.LatencyUs)
+	beta, ok := rn.betas[betaKey{port.RateBitsPerUs, port.LatencyUs}]
+	if !ok {
+		// Unreachable for ports in pg.Order, but stay correct for any
+		// future direct caller.
+		beta = minplus.RateLatency(port.RateBitsPerUs, port.LatencyUs)
+	} else {
+		rn.m.betaHits.Inc()
+	}
 
 	// Grouped aggregate arrival curve per priority level, plus the total
 	// for stability and backlog. Groups and levels are iterated in
@@ -241,6 +332,10 @@ func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) (*portOutcome,
 	levelAgg := map[int]minplus.Curve{}
 	levels := []int{}
 	rhoSum := 0.0
+	// Envelope constructions are counted locally and flushed in one Add
+	// per port: a per-flow atomic increment from every worker contends
+	// on one cache line for no observational gain.
+	envelopes := int64(0)
 	for _, g := range port.InputGroupsSorted() {
 		// Grouping applies within a priority level: a link serializes
 		// all frames, but the shaping below feeds per-level residual
@@ -265,6 +360,7 @@ func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) (*portOutcome,
 				if err != nil {
 					return nil, err
 				}
+				envelopes++
 				members = minplus.Add(members, env)
 				if s := f.VL.SMaxBits(); s > maxFrame {
 					maxFrame = s
@@ -292,6 +388,9 @@ func analyzePort(pg *afdx.PortGraph, id afdx.PortID, res *Result) (*portOutcome,
 		}
 	}
 	sort.Ints(levels)
+	if envelopes > 0 {
+		rn.m.envelopes.Add(envelopes)
+	}
 
 	// Stability (rhoSum <= rate) is guaranteed by the pre-flight
 	// lint.CheckStability in Analyze; rhoSum is kept for the utilization

@@ -1,0 +1,184 @@
+// Package cliobs wires the observability subsystem (internal/obs) and
+// the Go runtime profilers into a command-line program: every afdx-*
+// CLI registers the same flag set (-metrics, -tracefile, -spantree,
+// -cpuprofile, -memprofile, -trace), starts a Session after flag
+// parsing, threads Session.Context() into the analysis entry points,
+// and exits through Session.Exit so the collected artifacts are
+// flushed on every exit path.
+//
+// All flags default to off, in which case the Session is free: the
+// context carries no registry or tracer and the engines skip their
+// instrumentation on a nil check.
+package cliobs
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+
+	"afdx/internal/obs"
+)
+
+// Flags holds the shared observability flag values.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	ExecTrace  string
+	Metrics    string
+	TraceFile  string
+	SpanTree   bool
+}
+
+// Register installs the shared observability flags on a flag set
+// (normally flag.CommandLine, before flag.Parse).
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.ExecTrace, "trace", "", "write a Go runtime execution trace to this file")
+	fs.StringVar(&f.Metrics, "metrics", "", "write the engine metrics snapshot as JSON to this file on exit")
+	fs.StringVar(&f.TraceFile, "tracefile", "", "write the span trace (Chrome trace-viewer JSON) to this file on exit")
+	fs.BoolVar(&f.SpanTree, "spantree", false, "print the aggregated span tree to stderr on exit")
+	return f
+}
+
+// Session is one CLI run's observability state: the registry and
+// tracer handed to the engines (either may be nil when the matching
+// flags are off) plus the running profilers.
+type Session struct {
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+
+	flags   Flags
+	cpuFile *os.File
+	trcFile *os.File
+	closed  bool
+}
+
+// Start opens the profiler outputs and returns the run's Session. On
+// error the partially started profilers are stopped; the caller can
+// exit without closing.
+func (f *Flags) Start() (*Session, error) {
+	s := &Session{flags: *f}
+	if f.Metrics != "" {
+		s.Registry = obs.NewRegistry()
+	}
+	if f.TraceFile != "" || f.SpanTree {
+		s.Tracer = obs.NewTracer()
+	}
+	if f.CPUProfile != "" {
+		fh, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cliobs: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fh.Close()
+			return nil, fmt.Errorf("cliobs: -cpuprofile: %w", err)
+		}
+		s.cpuFile = fh
+	}
+	if f.ExecTrace != "" {
+		fh, err := os.Create(f.ExecTrace)
+		if err != nil {
+			s.stopProfilers()
+			return nil, fmt.Errorf("cliobs: -trace: %w", err)
+		}
+		if err := trace.Start(fh); err != nil {
+			fh.Close()
+			s.stopProfilers()
+			return nil, fmt.Errorf("cliobs: -trace: %w", err)
+		}
+		s.trcFile = fh
+	}
+	return s, nil
+}
+
+// Context returns a context carrying the session's registry and
+// tracer, for the *Ctx analysis entry points. With every flag off it
+// is a plain background context.
+func (s *Session) Context() context.Context {
+	ctx := context.Background()
+	if s.Registry != nil {
+		ctx = obs.WithRegistry(ctx, s.Registry)
+	}
+	if s.Tracer != nil {
+		ctx = obs.WithTracer(ctx, s.Tracer)
+	}
+	return ctx
+}
+
+// stopProfilers stops the CPU profiler and the execution tracer.
+func (s *Session) stopProfilers() error {
+	var errs []error
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		errs = append(errs, s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.trcFile != nil {
+		trace.Stop()
+		errs = append(errs, s.trcFile.Close())
+		s.trcFile = nil
+	}
+	return errors.Join(errs...)
+}
+
+// Close flushes every requested artifact: stops the profilers, writes
+// the heap profile, the metrics snapshot and the span trace, and
+// prints the span tree. It is idempotent; only the first call does
+// the work.
+func (s *Session) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	var errs []error
+	errs = append(errs, s.stopProfilers())
+	if s.flags.MemProfile != "" {
+		runtime.GC() // materialize the live heap before sampling
+		if fh, err := os.Create(s.flags.MemProfile); err != nil {
+			errs = append(errs, fmt.Errorf("cliobs: -memprofile: %w", err))
+		} else {
+			errs = append(errs, pprof.WriteHeapProfile(fh), fh.Close())
+		}
+	}
+	if s.flags.Metrics != "" && s.Registry != nil {
+		if fh, err := os.Create(s.flags.Metrics); err != nil {
+			errs = append(errs, fmt.Errorf("cliobs: -metrics: %w", err))
+		} else {
+			errs = append(errs, s.Registry.Snapshot().WriteJSON(fh), fh.Close())
+		}
+	}
+	if s.Tracer != nil {
+		if s.flags.TraceFile != "" {
+			if fh, err := os.Create(s.flags.TraceFile); err != nil {
+				errs = append(errs, fmt.Errorf("cliobs: -tracefile: %w", err))
+			} else {
+				errs = append(errs, s.Tracer.WriteChromeTrace(fh), fh.Close())
+			}
+		}
+		if s.flags.SpanTree {
+			errs = append(errs, s.Tracer.WriteTree(os.Stderr))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Exit closes the session and terminates the process. A flush failure
+// on an otherwise successful run turns exit code 0 into 1 — silently
+// dropping a requested profile would defeat the point of asking for
+// one.
+func (s *Session) Exit(code int) {
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,59 @@
+package obs
+
+import "context"
+
+// The registry, tracer, and current span ride the context so that
+// instrumentation reaches every engine through the existing call
+// graph — no analysis type grows an observability field, keeping the
+// observation layer removable and the engines' public surface stable.
+
+type ctxKey int
+
+const (
+	registryKey ctxKey = iota
+	tracerKey
+	spanKey
+)
+
+// WithRegistry returns a context carrying the metrics registry.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey, r)
+}
+
+// RegistryFrom returns the registry carried by ctx, or nil. A nil
+// result is usable: it hands out nil instruments that no-op.
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey).(*Registry)
+	return r
+}
+
+// WithTracer returns a context carrying the span tracer.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span named name under the context's current span
+// and returns a derived context in which it is current. Without a
+// tracer in ctx it returns (ctx, nil) — and a nil *Span's End no-ops —
+// so call sites need no conditionals.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey).(*Span)
+	sp := t.start(parent, name)
+	return context.WithValue(ctx, spanKey, sp), sp
+}

@@ -1,0 +1,276 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"afdx/internal/obs"
+	"afdx/internal/parallel"
+)
+
+// TestNilSafety pins the disabled-observability contract: a nil
+// registry, counter, histogram, tracer, and span all no-op.
+func TestNilSafety(t *testing.T) {
+	var r *obs.Registry
+	c := r.Counter("x", obs.Deterministic, "")
+	if c != nil {
+		t.Fatal("nil registry handed out a non-nil counter")
+	}
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	h := r.Histogram("y", obs.BestEffort, "")
+	h.Observe(3)
+	s := r.Snapshot()
+	if s == nil || len(s.Counters) != 0 {
+		t.Errorf("nil registry snapshot = %+v, want empty", s)
+	}
+	var tr *obs.Tracer
+	ctx, span := obs.StartSpan(context.Background(), "root")
+	span.End() // nil span from a tracerless context
+	if obs.TracerFrom(ctx) != nil || tr.Records() != nil {
+		t.Error("tracerless context leaked a tracer")
+	}
+}
+
+// TestSnapshotDeterminismUnderPool drives the same counter workload
+// through the parallel pool at several worker counts (and, under
+// -race, many goroutines at once) and checks the Deterministic subset
+// of the snapshots is identical — the contract the repository's
+// determinism tests rely on.
+func TestSnapshotDeterminismUnderPool(t *testing.T) {
+	const tasks = 512
+	run := func(workers int) *obs.Snapshot {
+		reg := obs.NewRegistry()
+		ctx := obs.WithRegistry(context.Background(), reg)
+		work := reg.Counter("test.work_units", obs.Deterministic, "one per task")
+		iters := reg.Histogram("test.iterations", obs.Deterministic, "per-task loop trips")
+		if err := parallel.ForEachCtx(ctx, workers, tasks, func(i int) error {
+			work.Inc()
+			iters.Observe(int64(i % 7))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot()
+	}
+	base := run(1).Deterministic()
+	if base.Counter("test.work_units") != tasks {
+		t.Fatalf("work_units = %d, want %d", base.Counter("test.work_units"), tasks)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers).Deterministic()
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("Deterministic snapshot differs at %d workers:\nseq: %+v\ngot: %+v",
+				workers, base, got)
+		}
+	}
+}
+
+// TestSnapshotSorted checks snapshots render instruments sorted by
+// name regardless of registration order, so equal state always
+// serializes identically.
+func TestSnapshotSorted(t *testing.T) {
+	reg := obs.NewRegistry()
+	for _, name := range []string{"z.last", "a.first", "m.middle"} {
+		reg.Counter(name, obs.Deterministic, "").Inc()
+	}
+	s := reg.Snapshot()
+	want := []string{"a.first", "m.middle", "z.last"}
+	for i, c := range s.Counters {
+		if c.Name != want[i] {
+			t.Fatalf("snapshot order %v, want %v", s.Counters, want)
+		}
+	}
+}
+
+// TestRegistryGetOrCreate checks that two registrations under one name
+// share the instrument (subsystems accumulate together) and that the
+// same name can be read back through the snapshot helper.
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := reg.Counter("shared", obs.Deterministic, "first")
+	b := reg.Counter("shared", obs.Deterministic, "second registration ignored")
+	if a != b {
+		t.Fatal("two registrations under one name returned distinct counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := reg.Snapshot().Counter("shared"); got != 3 {
+		t.Errorf("shared counter = %d, want 3", got)
+	}
+}
+
+// TestSpanShapeSeqVsParallel runs the same span-producing workload
+// sequentially and through the pool and checks Shape() — the multiset
+// of completed span label paths — is equal: span sets depend on the
+// work performed, never on scheduling.
+func TestSpanShapeSeqVsParallel(t *testing.T) {
+	const configs = 40
+	shape := func(workers int) []string {
+		tr := obs.NewTracer()
+		ctx := obs.WithTracer(context.Background(), tr)
+		ctx, root := obs.StartSpan(ctx, "campaign")
+		if err := parallel.ForEachCtx(ctx, workers, configs, func(i int) error {
+			cctx, cfg := obs.StartSpan(ctx, fmt.Sprintf("config:%d", i))
+			for _, engine := range []string{"netcalc", "trajectory"} {
+				_, sp := obs.StartSpan(cctx, engine)
+				sp.End()
+			}
+			cfg.End()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		return tr.Shape()
+	}
+	seq := shape(1)
+	if want := 1 + configs*3; len(seq) != want {
+		t.Fatalf("sequential shape has %d spans, want %d", len(seq), want)
+	}
+	par := shape(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("span shapes differ:\nseq: %v\npar: %v", seq, par)
+	}
+}
+
+// TestSpanHierarchy checks span paths nest through the context: a
+// child span started from a span-carrying context extends the parent's
+// label path.
+func TestSpanHierarchy(t *testing.T) {
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	ctx, root := obs.StartSpan(ctx, "campaign")
+	cctx, cfg := obs.StartSpan(ctx, "config:0")
+	_, eng := obs.StartSpan(cctx, "netcalc")
+	eng.End()
+	cfg.End()
+	root.End()
+	want := []string{"campaign", "campaign/config:0", "campaign/config:0/netcalc"}
+	if got := tr.Shape(); !reflect.DeepEqual(got, want) {
+		t.Errorf("shape = %v, want %v", got, want)
+	}
+	for _, r := range tr.Records() {
+		if r.Path == "campaign/config:0/netcalc" && r.CatPath != "campaign/config/netcalc" {
+			t.Errorf("catPath = %q, want instance suffix stripped", r.CatPath)
+		}
+	}
+}
+
+// TestDoubleEndIsIdempotent checks a span ended twice records once.
+func TestDoubleEndIsIdempotent(t *testing.T) {
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	_, sp := obs.StartSpan(ctx, "once")
+	sp.End()
+	sp.End()
+	if n := len(tr.Records()); n != 1 {
+		t.Errorf("double End recorded %d spans, want 1", n)
+	}
+}
+
+// goldenEvents is a fixed trace (no wall-clock anywhere) whose
+// canonical encoding is pinned by testdata/chrome_trace.golden.json.
+func goldenEvents() []obs.TraceEvent {
+	return []obs.TraceEvent{
+		{Name: "campaign", Cat: "campaign", Ph: "X", Ts: 0, Dur: 900, Pid: 1, Tid: 1,
+			Args: map[string]string{"path": "campaign"}},
+		{Name: "config:0", Cat: "config", Ph: "X", Ts: 10, Dur: 400, Pid: 1, Tid: 2,
+			Args: map[string]string{"path": "campaign/config:0"}},
+		{Name: "netcalc", Cat: "netcalc", Ph: "X", Ts: 20, Dur: 150, Pid: 1, Tid: 2,
+			Args: map[string]string{"path": "campaign/config:0/netcalc"}},
+		{Name: "port:S1->e001", Cat: "port", Ph: "X", Ts: 30, Dur: 60, Pid: 1, Tid: 3,
+			Args: map[string]string{"path": "campaign/config:0/netcalc/port:S1->e001"}},
+	}
+}
+
+// TestChromeTraceGoldenRoundTrip pins the Chrome-trace encoding to the
+// golden fixture byte-for-byte and checks the fixture decodes back to
+// the same events — the format chrome://tracing and Perfetto consume.
+func TestChromeTraceGoldenRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.EncodeChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "chrome_trace.golden.json")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("encoding drifted from the golden fixture:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	var back []obs.TraceEvent
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatalf("golden fixture is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(back, goldenEvents()) {
+		t.Errorf("fixture round-trip differs:\ngot %+v\nwant %+v", back, goldenEvents())
+	}
+}
+
+// TestTracerEventsAreValidChromeTrace checks a real tracer's emitted
+// file parses as a JSON array of complete ("X") duration events with
+// positive tids — the loadability contract of -tracefile.
+func TestTracerEventsAreValidChromeTrace(t *testing.T) {
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	ctx, root := obs.StartSpan(ctx, "campaign")
+	_, sp := obs.StartSpan(ctx, "config:0")
+	sp.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []obs.TraceEvent
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace output is not a JSON array: %v", err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		if e.Tid < 1 {
+			t.Errorf("event %q has tid %d, want >= 1", e.Name, e.Tid)
+		}
+	}
+}
+
+// TestHistogramBuckets checks the power-of-two bucketing: count, sum,
+// max, and per-bucket tallies for a handful of known observations.
+func TestHistogramBuckets(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("test.h", obs.Deterministic, "")
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	s := reg.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("got %d histograms, want 1", len(s.Histograms))
+	}
+	hv := s.Histograms[0]
+	if hv.Count != 7 || hv.Sum != 1011 || hv.Max != 1000 {
+		t.Errorf("count/sum/max = %d/%d/%d, want 7/1011/1000", hv.Count, hv.Sum, hv.Max)
+	}
+	got := map[string]int64{}
+	for _, b := range hv.Buckets {
+		got[b.Range] = b.Count
+	}
+	want := map[string]int64{"0": 1, "1": 2, "2-3": 2, "4-7": 1, "512-1023": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("buckets = %v, want %v", got, want)
+	}
+}

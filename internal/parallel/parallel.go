@@ -8,9 +8,12 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"afdx/internal/obs"
 )
 
 // Workers normalises a worker-count option: values <= 0 select
@@ -40,12 +43,39 @@ func Workers(n int) int {
 // results would be discarded anyway), so an early error does not cost a
 // full sweep.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with pool observability: when ctx carries an
+// obs.Registry, the pool counts batches and tasks (deterministic —
+// the work set is fixed) and samples goroutine occupancy at each task
+// start (best-effort — a scheduling observation). The ctx is not used
+// for cancellation; error semantics are exactly ForEach's.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	reg := obs.RegistryFrom(ctx)
+	var (
+		batches   *obs.Counter
+		tasks     *obs.Counter
+		occupancy *obs.Histogram
+	)
+	if reg != nil {
+		batches = reg.Counter("parallel.batches", obs.Deterministic,
+			"ForEach invocations (fan-out points)")
+		tasks = reg.Counter("parallel.tasks", obs.Deterministic,
+			"work items executed by the pool (equals the work-set size on error-free runs)")
+		occupancy = reg.Histogram("parallel.pool_occupancy", obs.BestEffort,
+			"goroutines busy in the pool, sampled at each task start")
+	}
+	batches.Inc()
+
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			tasks.Inc()
+			occupancy.Observe(1)
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -55,6 +85,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	var (
 		next     atomic.Int64
 		firstErr atomic.Int64
+		active   atomic.Int64
 		errs     = make([]error, n)
 		wg       sync.WaitGroup
 	)
@@ -68,6 +99,8 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= int64(n) || i > firstErr.Load() {
 					return
 				}
+				tasks.Inc()
+				occupancy.Observe(active.Add(1))
 				if err := fn(int(i)); err != nil {
 					errs[i] = err
 					// Lower the first-failure watermark (CAS loop: another
@@ -79,6 +112,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 						}
 					}
 				}
+				active.Add(-1)
 			}
 		}()
 	}

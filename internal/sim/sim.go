@@ -17,11 +17,13 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"afdx/internal/afdx"
+	"afdx/internal/obs"
 )
 
 // SourceModel selects how emission instants are drawn.
@@ -183,6 +185,17 @@ func (tb *tokenBucket) conform(nowNs, bits int64) bool {
 
 // Run simulates the configuration and returns the observed delays.
 func Run(pg *afdx.PortGraph, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), pg, cfg)
+}
+
+// RunCtx is Run with observability: when ctx carries an obs.Registry
+// the run counts processed events and frame outcomes (the simulator is
+// single-threaded and seed-driven, so the counts are deterministic);
+// when it carries an obs.Tracer the run is wrapped in a "sim" span.
+// Observation never influences the simulation.
+func RunCtx(ctx context.Context, pg *afdx.PortGraph, cfg Config) (*Result, error) {
+	_, span := obs.StartSpan(ctx, "sim")
+	defer span.End()
 	if cfg.DurationUs <= 0 {
 		return nil, fmt.Errorf("sim: non-positive duration %g us", cfg.DurationUs)
 	}
@@ -240,12 +253,30 @@ func Run(pg *afdx.PortGraph, cfg Config) (*Result, error) {
 			fr:     frame{vl: vl, emitNs: usToNs(off), bits: s.frameBits(vl), isEmit: true},
 		})
 	}
+	events := int64(0)
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(event)
 		s.process(ev)
+		events++
 	}
 	for id, ps := range s.ports {
 		s.res.MaxBacklogBits[id] = ps.maxBacklogBits
+	}
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		delivered := 0
+		for _, ps := range s.res.Paths {
+			delivered += ps.Frames
+		}
+		reg.Counter("sim.events_processed", obs.Deterministic,
+			"discrete events popped from the simulation heap").Add(events)
+		reg.Counter("sim.frames_emitted", obs.Deterministic,
+			"frames emitted by sources").Add(int64(s.res.FramesEmitted))
+		reg.Counter("sim.frames_delivered", obs.Deterministic,
+			"frame deliveries measured at destination end systems").Add(int64(delivered))
+		reg.Counter("sim.frames_dropped", obs.Deterministic,
+			"frames dropped by ingress policing").Add(int64(s.res.FramesDropped))
+		reg.Counter("sim.frames_overflowed", obs.Deterministic,
+			"frames dropped at full output-port buffers").Add(int64(s.res.FramesOverflowed))
 	}
 	return s.res, nil
 }

@@ -1,6 +1,7 @@
 package trajectory
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -53,7 +54,7 @@ func Explain(pg *afdx.PortGraph, pid afdx.PathID, opts Options) (*Explanation, e
 	if !ok {
 		return nil, fmt.Errorf("trajectory: unknown path %v", pid)
 	}
-	a, err := newAnalyzer(pg, opts)
+	a, err := newAnalyzer(context.Background(), pg, opts)
 	if err != nil {
 		return nil, err
 	}

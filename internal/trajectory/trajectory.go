@@ -33,6 +33,7 @@
 package trajectory
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -41,6 +42,7 @@ import (
 	"afdx/internal/afdx"
 	"afdx/internal/lint"
 	"afdx/internal/netcalc"
+	"afdx/internal/obs"
 	"afdx/internal/parallel"
 )
 
@@ -145,12 +147,64 @@ func (c *prefixCache) put(k netcalc.FlowPortKey, v float64) {
 	c.mu.Unlock()
 }
 
+// trMetrics is the engine's instrument bundle, resolved once per run
+// from the context registry; all fields may be nil (the obs
+// instruments no-op on nil receivers).
+//
+// The split between classes is exact: the top-level work set (one
+// analyzePortSeq per path) is fixed by the configuration, so its
+// counts are Deterministic. Recursive prefix work (PrefixTrajectory
+// mode only) goes through the contended trajPrefix cache, where a
+// value may be computed twice under parallel contention — those
+// counts are scheduling observations and are registered BestEffort.
+type trMetrics struct {
+	paths       *obs.Counter   // top-level paths analysed
+	busyFixes   *obs.Counter   // top-level busy-period fixpoints computed
+	busyIters   *obs.Counter   // total fixpoint rounds across them
+	busyRounds  *obs.Histogram // rounds per fixpoint
+	candidates  *obs.Counter   // candidate emission offsets evaluated
+	interferers *obs.Histogram // interference-set size per path
+	ncHits      *obs.Counter   // NC prefix-table lookups served (PrefixNC)
+	ncMiss      *obs.Counter   // NC prefix-table lookups missing (errors)
+	recHits     *obs.Counter   // trajPrefix cache hits (PrefixTrajectory)
+	recMiss     *obs.Counter   // trajPrefix cache misses → recursive computation
+}
+
+func newTrMetrics(reg *obs.Registry) trMetrics {
+	if reg == nil {
+		return trMetrics{}
+	}
+	return trMetrics{
+		paths: reg.Counter("trajectory.paths_analyzed", obs.Deterministic,
+			"(VL, destination) paths bounded at top level"),
+		busyFixes: reg.Counter("trajectory.busy_periods", obs.Deterministic,
+			"source-port busy-period fixpoints computed for top-level paths"),
+		busyIters: reg.Counter("trajectory.busy_period_iterations", obs.Deterministic,
+			"busy-period fixpoint rounds summed over top-level paths"),
+		busyRounds: reg.Histogram("trajectory.busy_period_rounds", obs.Deterministic,
+			"fixpoint rounds per top-level busy-period computation"),
+		candidates: reg.Counter("trajectory.candidate_offsets", obs.Deterministic,
+			"emission offsets evaluated for top-level paths"),
+		interferers: reg.Histogram("trajectory.interference_set_size", obs.Deterministic,
+			"flows in the interference set per top-level path (incl. self)"),
+		ncHits: reg.Counter("trajectory.prefix_cache_hits", obs.Deterministic,
+			"S_max bounds served from the NC prefix table (PrefixNC mode)"),
+		ncMiss: reg.Counter("trajectory.prefix_cache_misses", obs.Deterministic,
+			"S_max lookups missing from the NC prefix table (an engine error)"),
+		recHits: reg.Counter("trajectory.prefix_recursive_cache_hits", obs.BestEffort,
+			"S_max bounds served from the recursive prefix cache (PrefixTrajectory mode)"),
+		recMiss: reg.Counter("trajectory.prefix_recursive_cache_misses", obs.BestEffort,
+			"recursive S_max computations (duplicates possible under contention)"),
+	}
+}
+
 // analyzer carries the shared state of one Analyze run. After
 // newAnalyzer returns, everything except the prefix cache is read-only,
 // so the per-path workers of Analyze share one analyzer.
 type analyzer struct {
 	pg   *afdx.PortGraph
 	opts Options
+	m    trMetrics
 	// ncPrefix holds the NC prefix delays when PrefixMode == PrefixNC.
 	ncPrefix map[netcalc.FlowPortKey]float64
 	// trajPrefix caches recursive prefix response times
@@ -160,10 +214,11 @@ type analyzer struct {
 
 // newAnalyzer validates the configuration for trajectory analysis and
 // prepares the shared state (prefix bounds).
-func newAnalyzer(pg *afdx.PortGraph, opts Options) (*analyzer, error) {
+func newAnalyzer(ctx context.Context, pg *afdx.PortGraph, opts Options) (*analyzer, error) {
 	a := &analyzer{
 		pg:         pg,
 		opts:       opts,
+		m:          newTrMetrics(obs.RegistryFrom(ctx)),
 		trajPrefix: prefixCache{val: map[netcalc.FlowPortKey]float64{}},
 	}
 	// Shared stability pre-flight (lint diagnostic AFDX001), consuming
@@ -188,7 +243,7 @@ func newAnalyzer(pg *afdx.PortGraph, opts Options) (*analyzer, error) {
 	if opts.PrefixMode == PrefixNC {
 		ncOpts := netcalc.DefaultOptions()
 		ncOpts.Parallel = opts.Parallel
-		nc, err := netcalc.Analyze(pg, ncOpts)
+		nc, err := netcalc.AnalyzeCtx(ctx, pg, ncOpts)
 		if err != nil {
 			return nil, fmt.Errorf("trajectory: computing NC prefix bounds: %w", err)
 		}
@@ -204,7 +259,21 @@ func newAnalyzer(pg *afdx.PortGraph, opts Options) (*analyzer, error) {
 // goroutine, which keeps every worker count bit-identical to the
 // sequential run.
 func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
-	a, err := newAnalyzer(pg, opts)
+	return AnalyzeCtx(context.Background(), pg, opts)
+}
+
+// AnalyzeCtx is Analyze with observability: when ctx carries an
+// obs.Registry the engine counts paths, busy-period fixpoint rounds,
+// candidate offsets and prefix-cache traffic; when it carries an
+// obs.Tracer the run is wrapped in a "trajectory" span (the nested NC
+// prefix analysis appears as its "netcalc" child) with one
+// "path:<vl>/<idx>" span per analyzed path. Observation never
+// influences the computation: results are bit-identical with or
+// without it.
+func AnalyzeCtx(ctx context.Context, pg *afdx.PortGraph, opts Options) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "trajectory")
+	defer span.End()
+	a, err := newAnalyzer(ctx, pg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +284,9 @@ func Analyze(pg *afdx.PortGraph, opts Options) (*Result, error) {
 	}
 	paths := pg.Net.AllPaths()
 	dets := make([]PathDetail, len(paths))
-	err = parallel.ForEach(opts.Parallel, len(paths), func(i int) error {
+	err = parallel.ForEachCtx(ctx, opts.Parallel, len(paths), func(i int) error {
+		_, psp := obs.StartSpan(ctx, "path:"+paths[i].String())
+		defer psp.End()
 		det, err := a.analyzePath(paths[i])
 		dets[i] = det
 		return err
@@ -249,6 +320,7 @@ func (a *analyzer) analyzePath(pid afdx.PathID) (PathDetail, error) {
 	if len(ports) == 0 || vl == nil {
 		return PathDetail{}, fmt.Errorf("trajectory: unknown path %v", pid)
 	}
+	a.m.paths.Inc()
 	return a.analyzePortSeq(vl, ports, nil)
 }
 
@@ -258,9 +330,16 @@ func (a *analyzer) analyzePath(pid afdx.PathID) (PathDetail, error) {
 // the current recursion chain (PrefixTrajectory cycle detection); nil at
 // a recursion root.
 func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID, visiting map[netcalc.FlowPortKey]bool) (PathDetail, error) {
+	// Deterministic counters cover the top-level work set only
+	// (visiting == nil): recursive prefix analyses flow through the
+	// contended cache and may be duplicated under parallel schedules.
+	topLevel := visiting == nil
 	inter, err := a.interferenceSet(vl, ports, visiting)
 	if err != nil {
 		return PathDetail{}, err
+	}
+	if topLevel {
+		a.m.interferers.Observe(int64(len(inter)))
 	}
 
 	// Constant terms: technological latencies and the transition
@@ -286,12 +365,20 @@ func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID, vis
 		}
 	}
 
-	busy, err := a.sourceBusyPeriod(vl, ports[0], inter)
+	busy, rounds, err := a.sourceBusyPeriod(vl, ports[0], inter)
 	if err != nil {
 		return PathDetail{}, err
 	}
+	if topLevel {
+		a.m.busyFixes.Inc()
+		a.m.busyIters.Add(int64(rounds))
+		a.m.busyRounds.Observe(int64(rounds))
+	}
 
 	cands := candidateOffsets(inter, busy)
+	if topLevel {
+		a.m.candidates.Add(int64(len(cands)))
+	}
 	best, bestT := math.Inf(-1), 0.0
 	for _, t := range cands {
 		v := a.interferenceAt(inter, t) + deltaSum + lSum - t
@@ -322,6 +409,10 @@ func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID, vi
 	}
 	var inter []interferer
 	idx := map[string]int{}
+	// NC prefix-table hits are counted locally and flushed in one Add:
+	// a per-lookup atomic increment from every worker contends on one
+	// cache line and alone blows the instrumentation overhead budget.
+	ncLookups := int64(0)
 	for _, h := range ports {
 		port := a.pg.Ports[h]
 		for _, f := range port.Flows {
@@ -337,6 +428,9 @@ func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID, vi
 			sMaxJ, err := a.sMax(f.VL, h, visiting)
 			if err != nil {
 				return nil, err
+			}
+			if a.opts.PrefixMode == PrefixNC {
+				ncLookups++
 			}
 			ratio := 1.0
 			if f.Prev != "" {
@@ -355,6 +449,9 @@ func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID, vi
 			})
 		}
 	}
+	if ncLookups > 0 {
+		a.m.ncHits.Add(ncLookups)
+	}
 	sort.Slice(inter, func(i, j int) bool { return inter[i].vl.ID < inter[j].vl.ID })
 	return inter, nil
 }
@@ -370,13 +467,18 @@ func (a *analyzer) sMax(vl *afdx.VirtualLink, port afdx.PortID, visiting map[net
 	if a.opts.PrefixMode == PrefixNC {
 		d, ok := a.ncPrefix[key]
 		if !ok {
+			a.m.ncMiss.Inc()
 			return 0, fmt.Errorf("trajectory: no NC prefix bound for VL %s at %s", vl.ID, port)
 		}
+		// Hits are batched by the caller (interferenceSet): one atomic
+		// Add per interference set, not one per lookup.
 		return d, nil
 	}
 	if d, ok := a.trajPrefix.get(key); ok {
+		a.m.recHits.Inc()
 		return d, nil
 	}
+	a.m.recMiss.Inc()
 	if visiting[key] {
 		return 0, fmt.Errorf("trajectory: cyclic prefix dependency at VL %s port %s", vl.ID, port)
 	}
@@ -456,7 +558,10 @@ func (a *analyzer) maxSharedFrameTime(prev, next afdx.PortID) float64 {
 // fixpoint as a step-by-step scan — and terminates within the frame
 // capacity of that bound: every non-final round queues at least one
 // more whole frame, so rounds are capped by (bMax - w(0)) / minC.
-func (a *analyzer) sourceBusyPeriod(vl *afdx.VirtualLink, src afdx.PortID, inter []interferer) (float64, error) {
+//
+// The second return value is the number of fixpoint rounds performed —
+// the per-path iteration cost surfaced by the observability layer.
+func (a *analyzer) sourceBusyPeriod(vl *afdx.VirtualLink, src afdx.PortID, inter []interferer) (float64, int, error) {
 	port := a.pg.Ports[src]
 	sumC, minC, util := 0.0, math.Inf(1), 0.0
 	for _, f := range port.Flows {
@@ -468,7 +573,7 @@ func (a *analyzer) sourceBusyPeriod(vl *afdx.VirtualLink, src afdx.PortID, inter
 		util += c / f.VL.BAGUs()
 	}
 	if util >= 1-1e-12 {
-		return 0, fmt.Errorf("trajectory: busy period of port %s does not converge (port utilization %.9g >= 1)", src, util)
+		return 0, 0, fmt.Errorf("trajectory: busy period of port %s does not converge (port utilization %.9g >= 1)", src, util)
 	}
 	work := func(b float64) float64 {
 		w := 0.0
@@ -483,11 +588,11 @@ func (a *analyzer) sourceBusyPeriod(vl *afdx.VirtualLink, src afdx.PortID, inter
 	for iter := 0; iter < maxIter; iter++ {
 		nb := work(b)
 		if nb <= b+1e-9 {
-			return nb, nil
+			return nb, iter + 1, nil
 		}
 		b = nb
 	}
-	return 0, fmt.Errorf("trajectory: busy period of port %s exceeded its capacity bound %.3f us (numerical non-convergence)", src, bMax)
+	return 0, maxIter, fmt.Errorf("trajectory: busy period of port %s exceeded its capacity bound %.3f us (numerical non-convergence)", src, bMax)
 }
 
 // frameCount is N(x) = 1 + floor(max(0,x) / T): the maximum number of

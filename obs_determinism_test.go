@@ -1,0 +1,111 @@
+package afdx_test
+
+// Observability non-interference tests: attaching a metrics registry
+// and/or a span tracer must not change a single bit of either engine's
+// results, and the Deterministic subset of the metric snapshot must be
+// identical across worker counts and with tracing on vs. off. This is
+// the acceptance contract of the observability layer — it observes the
+// computation, it never participates in it.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"afdx"
+)
+
+// TestObservationBitIdenticalAndSnapshotsStable runs both engines on
+// the paper's sample configuration under every combination of worker
+// count and tracing, demanding (a) bit-identical bounds against the
+// unobserved reference and (b) deeply equal Deterministic snapshots.
+func TestObservationBitIdenticalAndSnapshotsStable(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncOpts := afdx.DefaultNCOptions()
+	trOpts := afdx.DefaultTrajectoryOptions()
+	ncOpts.Parallel = 1
+	trOpts.Parallel = 1
+	ncRef, err := afdx.AnalyzeNC(pg, ncOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trRef, err := afdx.AnalyzeTrajectory(pg, trOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var baseline *afdx.ObsSnapshot
+	for _, workers := range []int{1, 2, 8} {
+		for _, traced := range []bool{false, true} {
+			reg := afdx.NewObsRegistry()
+			var tr *afdx.ObsTracer
+			if traced {
+				tr = afdx.NewObsTracer()
+			}
+			ctx := afdx.WithObservation(context.Background(), reg, tr)
+			ncOpts.Parallel = workers
+			trOpts.Parallel = workers
+			nc, err := afdx.AnalyzeNCCtx(ctx, pg, ncOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameNCResults(t, "observed NC", ncRef, nc)
+			traj, err := afdx.AnalyzeTrajectoryCtx(ctx, pg, trOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameTrajectoryResults(t, "observed trajectory", trRef, traj)
+
+			snap := reg.Snapshot().Deterministic()
+			if len(snap.Counters) == 0 {
+				t.Fatal("instrumented run registered no deterministic counters")
+			}
+			if baseline == nil {
+				baseline = snap
+				continue
+			}
+			if !reflect.DeepEqual(baseline, snap) {
+				t.Errorf("Deterministic snapshot differs at workers=%d traced=%v:\nbase: %+v\ngot:  %+v",
+					workers, traced, baseline, snap)
+			}
+		}
+	}
+}
+
+// TestObservedSpanShapeStableAcrossWorkers checks the span *set* of an
+// engine run — the multiset of completed span label paths — is
+// identical at every worker count: which spans exist depends on the
+// work performed, never on how the pool schedules it.
+func TestObservedSpanShapeStableAcrossWorkers(t *testing.T) {
+	pg, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := func(workers int) []string {
+		tr := afdx.NewObsTracer()
+		ctx := afdx.WithObservation(context.Background(), nil, tr)
+		ncOpts := afdx.DefaultNCOptions()
+		ncOpts.Parallel = workers
+		if _, err := afdx.AnalyzeNCCtx(ctx, pg, ncOpts); err != nil {
+			t.Fatal(err)
+		}
+		trOpts := afdx.DefaultTrajectoryOptions()
+		trOpts.Parallel = workers
+		if _, err := afdx.AnalyzeTrajectoryCtx(ctx, pg, trOpts); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Shape()
+	}
+	seq := shape(1)
+	if len(seq) == 0 {
+		t.Fatal("traced run produced no spans")
+	}
+	for _, workers := range []int{2, 8} {
+		if par := shape(workers); !reflect.DeepEqual(seq, par) {
+			t.Errorf("span shape differs at %d workers:\nseq: %v\ngot: %v", workers, seq, par)
+		}
+	}
+}
