@@ -43,6 +43,7 @@ import (
 	"afdx/internal/core"
 	"afdx/internal/diag"
 	"afdx/internal/exact"
+	"afdx/internal/incremental"
 	"afdx/internal/lint"
 	"afdx/internal/netcalc"
 	"afdx/internal/obs"
@@ -199,6 +200,12 @@ func ExplainTrajectory(pg *PortGraph, pid PathID, opts TrajectoryOptions) (*Traj
 	return trajectory.Explain(pg, pid, opts)
 }
 
+// ExplainTrajectoryCtx is ExplainTrajectory with cancellation and
+// observability threaded through the context.
+func ExplainTrajectoryCtx(ctx context.Context, pg *PortGraph, pid PathID, opts TrajectoryOptions) (*TrajectoryExplanation, error) {
+	return trajectory.ExplainCtx(ctx, pg, pid, opts)
+}
+
 // NCExplanation decomposes one path's Network Calculus bound into its
 // per-port terms.
 type NCExplanation = netcalc.PathExplanation
@@ -239,6 +246,46 @@ func CompareCtx(ctx context.Context, pg *PortGraph) (*Comparison, error) {
 // the context.
 func CompareWithCtx(ctx context.Context, pg *PortGraph, nc NCOptions, tr TrajectoryOptions) (*Comparison, error) {
 	return core.CompareWithCtx(ctx, pg, nc, tr)
+}
+
+// Incremental what-if re-analysis (dependency-tracked caching).
+type (
+	// IncrementalSession is a stateful what-if loop: apply deltas,
+	// re-analyse, with unchanged ports and paths served from cache.
+	IncrementalSession = incremental.Session
+	// IncrementalOptions binds a session's validation mode and engine
+	// option sets.
+	IncrementalOptions = incremental.Options
+	// IncrementalResult carries one analysis round: both engine results
+	// and the combined comparison.
+	IncrementalResult = incremental.Result
+	// Delta is one configuration mutation (BAG, s_max, priority,
+	// reroute, VL added or removed).
+	Delta = incremental.Delta
+)
+
+// DefaultIncrementalOptions analyses with both engines' paper defaults
+// under Strict validation.
+func DefaultIncrementalOptions() IncrementalOptions { return incremental.DefaultOptions() }
+
+// NewIncrementalSession opens a what-if session over a private clone of
+// the configuration.
+func NewIncrementalSession(net *Network, opts IncrementalOptions) (*IncrementalSession, error) {
+	return incremental.NewSession(net, opts)
+}
+
+// ParseDelta parses the compact delta syntax used by afdx-bounds
+// ("bag v1 16", "smax v2 200", "priority v1 1", "drop v5",
+// "reroute v1 es1,s1,es2", "add {...vl json...}").
+func ParseDelta(s string) (Delta, error) { return incremental.ParseDelta(s) }
+
+// AnalyzeIncremental applies a delta batch to the session (atomically:
+// a rejected batch leaves the session unchanged) and re-analyses,
+// reusing every port and path outcome whose inputs did not change. The
+// result is bit-identical to a cold analysis of the mutated
+// configuration, at every Parallel value.
+func AnalyzeIncremental(ctx context.Context, s *IncrementalSession, deltas ...Delta) (*IncrementalResult, error) {
+	return s.WhatIf(ctx, deltas...)
 }
 
 // Simulation.

@@ -9,10 +9,14 @@
 #   5. go test -race ./...   (the suite again under the race detector)
 #   6. afdx-conformance      (short cross-engine differential campaign,
 #                             deterministic seed, wall-time budgeted)
-#   7. traced conformance    (same campaign with metrics + tracing on:
+#   7. incremental parity    (a second campaign on a different seed:
+#                             every configuration replays a delta
+#                             sequence through a what-if session and
+#                             requires bit-identity with cold runs)
+#   8. traced conformance    (same campaign with metrics + tracing on:
 #                             verdicts must be identical — observability
 #                             never participates in the computation)
-#   8. fuzz smoke            (each native fuzz target for a few seconds)
+#   9. fuzz smoke            (each native fuzz target for a few seconds)
 #
 # Usage: ./check.sh        (or: make check)
 set -eu
@@ -40,6 +44,14 @@ go test -race ./...
 
 echo "== conformance oracle (short campaign, deterministic)"
 go run ./cmd/afdx-conformance -n 150 -seed 1 -budget 45s -quiet
+
+echo "== incremental parity (30-config campaign, what-if vs cold bit-identity)"
+# The oracle's incremental tier drives a session through a BAG-doubling,
+# s_max-halving, VL-dropping delta sequence per configuration and fails
+# on any bitwise divergence from cold engine runs (at -parallel 1 and
+# the parallel worker count). A different seed than the campaign above,
+# so the two gates cover disjoint configuration draws.
+go run ./cmd/afdx-conformance -n 30 -seed 5 -quiet
 
 echo "== traced conformance (observability non-interference)"
 # Run the same 50-config campaign plain and with the full observability

@@ -10,6 +10,21 @@
 //	afdx-bounds -config net.json -no-grouping    # disable serialization
 //	afdx-bounds -config net.json -csv > out.csv  # machine-readable
 //
+// What-if mode re-analyses the configuration under deltas without
+// re-running the full analysis: after the base table, each -delta (or
+// each line of the -whatif file; '-' reads stdin) is applied to an
+// incremental session — only the ports and paths downstream of the
+// change are recomputed, and the reprinted bounds are bit-identical to
+// a cold run on the mutated configuration:
+//
+//	afdx-bounds -config net.json -delta 'bag v3 16' -delta 'drop v7'
+//	afdx-bounds -config net.json -whatif scenario.txt
+//
+// Delta commands: 'bag <vl> <ms>', 'smax <vl> <bytes>',
+// 'priority <vl> <level>', 'drop <vl>', 'reroute <vl> <node,node,...>
+// [<path> ...]', 'add <vl json>'. Deltas compose: each applies on top
+// of the previous one's configuration.
+//
 // Observability (shared across every afdx-* command; see
 // internal/obs/cliobs): -metrics writes the engines' counter and
 // histogram snapshot as JSON, -tracefile a Chrome-trace-viewer span
@@ -29,8 +44,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -73,7 +90,10 @@ func main() {
 		jitter     = flag.Bool("jitter", false, "also print per-path jitter (bound minus idle-network floor)")
 		esJitter   = flag.Bool("es-jitter", false, "also print the ARINC 664 end-system output jitter report")
 		explain    = flag.String("explain", "", "print the trajectory bound decomposition of one path (e.g. v1/0)")
+		whatif     = flag.String("whatif", "", "file of what-if delta commands, one per line ('-' = stdin; blank lines and # comments skipped)")
 	)
+	var deltaCmds multiFlag
+	flag.Var(&deltaCmds, "delta", "what-if delta command (repeatable; e.g. 'bag v1 16', 'drop v5'): applied incrementally after the base analysis")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 	if *config == "" {
@@ -131,54 +151,11 @@ func main() {
 		sess.Exit(exitUsage)
 	}
 
-	paths := net.AllPaths()
-	sort.Slice(paths, func(i, j int) bool {
-		if paths[i].VL != paths[j].VL {
-			return paths[i].VL < paths[j].VL
-		}
-		return paths[i].PathIdx < paths[j].PathIdx
-	})
+	paths := sortedPaths(net)
 
-	headers := []string{"path"}
-	if ncDelays != nil {
-		headers = append(headers, "WCNC (us)")
-	}
-	if trDelays != nil {
-		headers = append(headers, "Trajectory (us)")
-	}
-	if ncDelays != nil && trDelays != nil {
-		headers = append(headers, "Best (us)", "benefit")
-	}
-	if *jitter {
-		headers = append(headers, "jitter (us)")
-	}
-	rows := make([][]string, 0, len(paths))
-	for _, pid := range paths {
-		row := []string{pid.String()}
-		best := 0.0
-		if ncDelays != nil {
-			best = ncDelays[pid]
-			row = append(row, report.Us(ncDelays[pid]))
-		}
-		if trDelays != nil {
-			if best == 0 || trDelays[pid] < best {
-				best = trDelays[pid]
-			}
-			row = append(row, report.Us(trDelays[pid]))
-		}
-		if ncDelays != nil && trDelays != nil {
-			row = append(row,
-				report.Us(best),
-				report.Pct((ncDelays[pid]-trDelays[pid])/ncDelays[pid]*100))
-		}
-		if *jitter {
-			floor, err := pg.MinPathDelayUs(pid)
-			if err != nil {
-				fail(exitAnalysis, err)
-			}
-			row = append(row, report.Us(best-floor))
-		}
-		rows = append(rows, row)
+	headers, rows, err := boundsTable(pg, paths, ncDelays, trDelays, *jitter)
+	if err != nil {
+		fail(exitAnalysis, err)
 	}
 	emit := report.Table
 	if *csv {
@@ -186,6 +163,10 @@ func main() {
 	}
 	if err := emit(os.Stdout, headers, rows); err != nil {
 		fail(exitAnalysis, err)
+	}
+
+	if len(deltaCmds) > 0 || *whatif != "" {
+		runWhatIf(ctx, net, mode, ncOpts, trOpts, deltaCmds, *whatif, *jitter, emit)
 	}
 
 	if *explain != "" {
@@ -258,6 +239,131 @@ func main() {
 		}
 	}
 	sess.Exit(exitOK)
+}
+
+// multiFlag collects a repeatable string flag in order of appearance.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// sortedPaths returns every path in deterministic (VL, index) order.
+func sortedPaths(net *afdx.Network) []afdx.PathID {
+	paths := net.AllPaths()
+	sort.Slice(paths, func(i, j int) bool {
+		if paths[i].VL != paths[j].VL {
+			return paths[i].VL < paths[j].VL
+		}
+		return paths[i].PathIdx < paths[j].PathIdx
+	})
+	return paths
+}
+
+// boundsTable renders the per-path bounds table; either delay map may
+// be nil (single-method runs), dropping its columns.
+func boundsTable(pg *afdx.PortGraph, paths []afdx.PathID, ncDelays, trDelays map[afdx.PathID]float64, jitter bool) ([]string, [][]string, error) {
+	headers := []string{"path"}
+	if ncDelays != nil {
+		headers = append(headers, "WCNC (us)")
+	}
+	if trDelays != nil {
+		headers = append(headers, "Trajectory (us)")
+	}
+	if ncDelays != nil && trDelays != nil {
+		headers = append(headers, "Best (us)", "benefit")
+	}
+	if jitter {
+		headers = append(headers, "jitter (us)")
+	}
+	rows := make([][]string, 0, len(paths))
+	for _, pid := range paths {
+		row := []string{pid.String()}
+		best := 0.0
+		if ncDelays != nil {
+			best = ncDelays[pid]
+			row = append(row, report.Us(ncDelays[pid]))
+		}
+		if trDelays != nil {
+			if best == 0 || trDelays[pid] < best {
+				best = trDelays[pid]
+			}
+			row = append(row, report.Us(trDelays[pid]))
+		}
+		if ncDelays != nil && trDelays != nil {
+			row = append(row,
+				report.Us(best),
+				report.Pct((ncDelays[pid]-trDelays[pid])/ncDelays[pid]*100))
+		}
+		if jitter {
+			floor, err := pg.MinPathDelayUs(pid)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, report.Us(best-floor))
+		}
+		rows = append(rows, row)
+	}
+	return headers, rows, nil
+}
+
+// runWhatIf drives the incremental what-if loop: -delta commands first
+// (in flag order), then the -whatif file's lines, each applied on top
+// of the previous configuration with only the affected ports and paths
+// re-analysed, and the bounds table reprinted after every delta.
+func runWhatIf(ctx context.Context, net *afdx.Network, mode afdx.ValidationMode, ncOpts afdx.NCOptions, trOpts afdx.TrajectoryOptions, cmds []string, file string, jitter bool, emit func(w io.Writer, headers []string, rows [][]string) error) {
+	lines := append([]string{}, cmds...)
+	if file != "" {
+		var data []byte
+		var err error
+		if file == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(file)
+		}
+		if err != nil {
+			fail(exitUsage, fmt.Errorf("reading what-if input: %w", err))
+		}
+		for _, ln := range strings.Split(string(data), "\n") {
+			ln = strings.TrimSpace(ln)
+			if ln == "" || strings.HasPrefix(ln, "#") {
+				continue
+			}
+			lines = append(lines, ln)
+		}
+	}
+
+	ws, err := afdx.NewIncrementalSession(net, afdx.IncrementalOptions{Mode: mode, NC: ncOpts, Trajectory: trOpts})
+	if err != nil {
+		fail(exitAnalysis, err)
+	}
+	// Warm the session's caches with the base configuration so each
+	// delta below pays only for its downstream cone.
+	if _, err := ws.Analyze(ctx); err != nil {
+		fail(exitAnalysis, err)
+	}
+	for _, ln := range lines {
+		d, err := afdx.ParseDelta(ln)
+		if err != nil {
+			fail(exitUsage, err)
+		}
+		res, err := afdx.AnalyzeIncremental(ctx, ws, d)
+		if err != nil {
+			fail(exitAnalysis, fmt.Errorf("what-if %q: %w", d, err))
+		}
+		fmt.Printf("\nwhat-if: %s\n", d)
+		pg := ws.PortGraph()
+		headers, rows, err := boundsTable(pg, sortedPaths(pg.Net), res.NC.PathDelays, res.Trajectory.PathDelays, jitter)
+		if err != nil {
+			fail(exitAnalysis, err)
+		}
+		if err := emit(os.Stdout, headers, rows); err != nil {
+			fail(exitAnalysis, err)
+		}
+	}
 }
 
 // preflight lints the configuration and aborts with exitLint when the

@@ -60,6 +60,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the full JSON report on stdout")
 		quiet     = flag.Bool("quiet", false, "suppress the per-violation lines (summary only)")
 		fault     = flag.String("fault", "", "inject an engine fault for oracle self-tests: nc-optimistic | traj-optimistic")
+		incr      = flag.Bool("incremental", true, "route the oracle's reference runs through the incremental caches and check the incremental-parity tier")
 	)
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
@@ -83,6 +84,11 @@ func main() {
 		Parallel:  *parallelN,
 		Budget:    *budget,
 		CorpusDir: *corpus,
+	}
+	if !*incr {
+		o := conformance.NewOracle()
+		o.Incremental = false
+		opts.Oracle = o
 	}
 	switch *fault {
 	case "":

@@ -43,6 +43,41 @@ func DecodeJSON(r io.Reader) (*Network, error) {
 	return &n, nil
 }
 
+// Clone deep-copies the configuration structurally (field values are
+// copied bit for bit — no codec round-trip, which matters to the
+// shrinker and what-if sessions cloning candidates in a tight loop).
+// What-if sessions and the conformance shrinker mutate clones, never
+// the caller's network.
+func (n *Network) Clone() *Network {
+	c := *n
+	c.EndSystems = cloneStrings(n.EndSystems)
+	c.Switches = cloneStrings(n.Switches)
+	if n.LinkRates != nil {
+		c.LinkRates = append([]LinkRate(nil), n.LinkRates...)
+	}
+	if n.VLs != nil {
+		c.VLs = make([]*VirtualLink, len(n.VLs))
+		for i, v := range n.VLs {
+			vc := *v
+			if v.Paths != nil {
+				vc.Paths = make([][]string, len(v.Paths))
+				for j, p := range v.Paths {
+					vc.Paths[j] = cloneStrings(p)
+				}
+			}
+			c.VLs[i] = &vc
+		}
+	}
+	return &c
+}
+
+func cloneStrings(s []string) []string {
+	if s == nil {
+		return nil
+	}
+	return append([]string(nil), s...)
+}
+
 // ReadJSON parses a network configuration and validates it with the
 // given mode.
 func ReadJSON(r io.Reader, mode ValidationMode) (*Network, error) {

@@ -2,7 +2,9 @@ package afdx
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -103,6 +105,11 @@ type PortGraph struct {
 	// q immediately before port p, then q precedes p in Order.
 	Order []PortID
 	paths map[PathID][]PortID
+	// vls indexes the network's VLs by ID. Network.VL is a linear scan
+	// (the Network is a mutable configuration object); the engines sit
+	// in per-path loops and need the O(1) lookup the frozen graph can
+	// afford.
+	vls map[string]*VirtualLink
 
 	// ranks memoizes Ranks(): the grouping is derived data, queried by
 	// both the parallel schedulers and the observability layer, and the
@@ -119,16 +126,32 @@ func BuildPortGraph(n *Network, mode ValidationMode) (*PortGraph, error) {
 	if err := n.Validate(mode); err != nil {
 		return nil, err
 	}
+	// Size the hot maps up front: the number of (VL, port) incidences
+	// bounds both the member table and the port count, and rebuilding
+	// the graph is on the critical path of every what-if candidate.
+	incidences, npaths := 0, 0
+	for _, v := range n.VLs {
+		npaths += len(v.Paths)
+		for _, path := range v.Paths {
+			if len(path) > 1 {
+				incidences += len(path) - 1
+			}
+		}
+	}
 	pg := &PortGraph{
 		Net:   n,
-		Ports: map[PortID]*Port{},
-		paths: map[PathID][]PortID{},
+		Ports: make(map[PortID]*Port, incidences),
+		paths: make(map[PathID][]PortID, npaths),
+		vls:   make(map[string]*VirtualLink, len(n.VLs)),
+	}
+	for _, v := range n.VLs {
+		pg.vls[v.ID] = v
 	}
 	type memberKey struct {
 		port PortID
 		vl   string
 	}
-	members := map[memberKey]string{} // -> prev node
+	members := make(map[memberKey]string, incidences) // -> prev node
 	for _, v := range n.VLs {
 		for pi, path := range v.Paths {
 			var seq []PortID
@@ -167,7 +190,7 @@ func BuildPortGraph(n *Network, mode ValidationMode) (*PortGraph, error) {
 		}
 	}
 	for _, p := range pg.Ports {
-		sort.Slice(p.Flows, func(i, j int) bool { return p.Flows[i].VL.ID < p.Flows[j].VL.ID })
+		slices.SortFunc(p.Flows, func(a, b PortFlow) int { return strings.Compare(a.VL.ID, b.VL.ID) })
 	}
 	order, err := pg.topoOrder()
 	if err != nil {
@@ -180,15 +203,20 @@ func BuildPortGraph(n *Network, mode ValidationMode) (*PortGraph, error) {
 // PathPorts returns the port sequence of one (VL, destination) path.
 func (pg *PortGraph) PathPorts(id PathID) []PortID { return pg.paths[id] }
 
+// VL returns the virtual link with the given ID, or nil. Unlike
+// Network.VL this is a constant-time lookup against the index frozen
+// at graph-build time.
+func (pg *PortGraph) VL(id string) *VirtualLink { return pg.vls[id] }
+
 // topoOrder computes a deterministic topological order of the port
 // dependency graph (port q feeds port p when some VL crosses q then p).
 func (pg *PortGraph) topoOrder() ([]PortID, error) {
-	succ := map[PortID][]PortID{}
-	indeg := map[PortID]int{}
+	succ := make(map[PortID][]PortID, len(pg.Ports))
+	indeg := make(map[PortID]int, len(pg.Ports))
 	for id := range pg.Ports {
 		indeg[id] = 0
 	}
-	seen := map[[2]PortID]bool{}
+	seen := make(map[[2]PortID]bool, len(pg.Ports))
 	for _, seq := range pg.paths {
 		for k := 0; k+1 < len(seq); k++ {
 			e := [2]PortID{seq[k], seq[k+1]}
@@ -223,8 +251,11 @@ func (pg *PortGraph) topoOrder() ([]PortID, error) {
 			}
 		}
 		if len(newly) > 0 {
-			ready = append(ready, newly...)
-			sortPortIDs(ready)
+			// ready stays sorted throughout; merging the (sorted) newly
+			// released ports preserves the lexicographic tie-breaking
+			// without re-sorting the whole queue per step.
+			sortPortIDs(newly)
+			ready = mergePortIDs(ready, newly)
 		}
 	}
 	if len(order) != len(pg.Ports) {
@@ -285,13 +316,29 @@ func (pg *PortGraph) computeRanks() [][]PortID {
 	return out
 }
 
-func sortPortIDs(ids []PortID) {
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].From != ids[j].From {
-			return ids[i].From < ids[j].From
+func comparePortIDs(a, b PortID) int {
+	if c := strings.Compare(a.From, b.From); c != 0 {
+		return c
+	}
+	return strings.Compare(a.To, b.To)
+}
+
+func sortPortIDs(ids []PortID) { slices.SortFunc(ids, comparePortIDs) }
+
+// mergePortIDs merges two sorted slices into one sorted slice.
+func mergePortIDs(a, b []PortID) []PortID {
+	out := make([]PortID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if comparePortIDs(a[i], b[j]) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
 		}
-		return ids[i].To < ids[j].To
-	})
+	}
+	return append(append(out, a[i:]...), b[j:]...)
 }
 
 // FlowsSharingPath returns the set of VLs whose routing shares at least
@@ -320,7 +367,7 @@ func (pg *PortGraph) MinPathDelayUs(id PathID) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("afdx: unknown path %v", id)
 	}
-	vl := pg.Net.VL(id.VL)
+	vl := pg.VL(id.VL)
 	total := 0.0
 	for _, pid := range seq {
 		p := pg.Ports[pid]

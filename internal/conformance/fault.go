@@ -26,6 +26,9 @@ const (
 // Everything else (budgets, seeds) matches NewOracle.
 func FaultyOracle(f Fault) *Oracle {
 	o := NewOracle()
+	// Cached runs call the real engines directly; they must stay off so
+	// the injected wrappers are actually exercised.
+	o.Incremental = false
 	switch f {
 	case FaultNCOptimistic:
 		real := o.Engines.NC

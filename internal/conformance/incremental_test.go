@@ -1,0 +1,92 @@
+package conformance
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"afdx/internal/afdx"
+	"afdx/internal/configgen"
+)
+
+func incrTestNet(t *testing.T, seed int64) *afdx.Network {
+	t.Helper()
+	spec := campaignSpec(seed, 1)
+	net, err := configgen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// The oracle's verdict must not depend on whether its reference runs
+// are cached: an incremental oracle and a cold one agree violation for
+// violation (here: none) on the same configuration.
+func TestIncrementalOracleMatchesCold(t *testing.T) {
+	net := incrTestNet(t, 11)
+	incrO := NewOracle()
+	coldO := NewOracle()
+	coldO.Incremental = false
+	got, err := incrO.Check(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := coldO.Check(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The incremental oracle additionally runs the incremental-parity
+	// tier, so only compare the invariants both oracles check.
+	var gotShared []Violation
+	for _, v := range got {
+		if v.Invariant != InvIncrementalParity {
+			gotShared = append(gotShared, v)
+		}
+	}
+	if !reflect.DeepEqual(gotShared, want) {
+		t.Fatalf("incremental oracle verdicts %v differ from cold %v", gotShared, want)
+	}
+}
+
+// A persistent pool across shrink-style candidate sequences (each
+// network a small mutation of the previous) must reproduce the cold
+// oracle's verdict on every candidate — this pins the exact reuse
+// pattern ShrinkCtx relies on for its speedup.
+func TestPersistentPoolAcrossCandidates(t *testing.T) {
+	net := incrTestNet(t, 13)
+	pooled := NewOracle()
+	pooled.pool = newEnginePool()
+	pooled.SkipMetamorphic = true // the shrinker's inner-loop setting
+	cold := NewOracle()
+	cold.Incremental = false
+	cold.SkipMetamorphic = true
+
+	cands := []*afdx.Network{net}
+	if len(net.VLs) > 1 {
+		c := cloneNetwork(net)
+		c.VLs = c.VLs[:len(c.VLs)-1]
+		pruneNodes(c)
+		cands = append(cands, c)
+	}
+	c := cloneNetwork(cands[len(cands)-1])
+	for _, v := range c.VLs {
+		v.SMaxBytes = afdx.MinFrameBytes
+		v.SMinBytes = afdx.MinFrameBytes
+	}
+	cands = append(cands, c, net) // finish by revisiting the original (A/B/A)
+
+	ctx := context.Background()
+	for i, cand := range cands {
+		got, err := pooled.CheckCtx(ctx, cand)
+		if err != nil {
+			t.Fatalf("candidate %d: %v", i, err)
+		}
+		want, err := cold.CheckCtx(ctx, cand)
+		if err != nil {
+			t.Fatalf("candidate %d (cold): %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("candidate %d: pooled verdicts %v differ from cold %v", i, got, want)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"afdx/internal/afdx"
 	"afdx/internal/core"
+	"afdx/internal/core/tol"
 	"afdx/internal/exact"
 	"afdx/internal/netcalc"
 	"afdx/internal/sim"
@@ -77,6 +78,10 @@ const (
 	// InvRepeatability: re-running an engine on the same input yields
 	// bit-identical results (pins the PR 2 map-iteration float wobble).
 	InvRepeatability Invariant = "repeatability"
+	// InvIncrementalParity: a what-if session's cached re-analysis after
+	// each delta of a tightening sequence is bit-identical to a cold
+	// recompute of the mutated configuration, at every worker count.
+	InvIncrementalParity Invariant = "incremental-parity"
 )
 
 // Violation is one failed invariant on one configuration.
@@ -136,6 +141,28 @@ type Oracle struct {
 	SkipMetamorphic bool
 	// SimSeed seeds the randomized simulation run.
 	SimSeed int64
+	// Incremental routes the oracle's sequential reference runs through
+	// the engines' incremental caches and enables the
+	// incremental-parity tier. It MUST be false when Engines is
+	// overridden (fault injection): cached runs call the real engines
+	// directly and would bypass the injected wrappers. The caches are
+	// themselves under test here — a buggy cache desynchronises the
+	// reference runs from the cold runs of the combined-minimum
+	// cross-check and of the parity tier, and is reported as a
+	// violation.
+	Incremental bool
+	// pool persists incremental caches across CheckCtx calls; only the
+	// shrinker sets it (on its private oracle copy — a pool is
+	// single-writer, and campaigns check configurations in parallel
+	// against one shared Oracle). When nil and Incremental is set,
+	// CheckCtx uses a transient per-call pool.
+	pool *enginePool
+	// only, when non-empty, restricts CheckCtx to the tiers that can
+	// produce that invariant. The shrinker sets it: its inner loop asks
+	// one question — does THIS invariant still reproduce? — and
+	// violations of other invariants are discarded there anyway, so
+	// skipping their tiers changes nothing but the wall time.
+	only Invariant
 }
 
 // NewOracle returns an oracle over the real engines with the default
@@ -147,19 +174,19 @@ func NewOracle() *Oracle {
 		ExactGridDiv:  4,
 		ParityWorkers: 4,
 		SimSeed:       1,
+		Incremental:   true,
 	}
 }
 
-// relEps is the tolerance of the ordering invariants: a ≤ b is accepted
-// when a ≤ b + relEps*max(1,|b|). The engines are deterministic, so the
-// tolerance only absorbs the genuine float non-associativity between
-// *different* computations (e.g. a sum of port bounds vs a busy-period
-// maximisation); identity invariants (parity, repeatability,
-// combined-minimum) use exact equality.
-const relEps = 1e-9
-
+// leq is the ordering-invariant comparison: a ≤ b is accepted up to the
+// repository-wide relative tolerance (internal/core/tol, rel 1e-9). The
+// engines are deterministic, so the tolerance only absorbs the genuine
+// float non-associativity between *different* computations (e.g. a sum
+// of port bounds vs a busy-period maximisation); identity invariants
+// (parity, repeatability, combined-minimum, incremental-parity) use
+// exact equality.
 func leq(a, b float64) bool {
-	return a <= b+relEps*math.Max(1, math.Abs(b))
+	return tol.Leq(a, b)
 }
 
 // Check runs the full invariant lattice on one validated network and
@@ -182,74 +209,140 @@ func (o *Oracle) CheckCtx(ctx context.Context, net *afdx.Network) ([]Violation, 
 	}
 	var vs []Violation
 
-	// Sequential reference runs of the four engine variants.
-	ncG, err := o.Engines.NC(ctx, pg, netcalc.Options{Grouping: true, Parallel: 1})
-	if err != nil {
-		return nil, fmt.Errorf("conformance: netcalc (grouped): %w", err)
+	// Tier selection: everything by default; restricted to the tiers
+	// that can produce o.only during a shrink (see the field comment).
+	want := func(invs ...Invariant) bool {
+		if o.only == "" {
+			return true
+		}
+		for _, iv := range invs {
+			if iv == o.only {
+				return true
+			}
+		}
+		return false
 	}
-	ncU, err := o.Engines.NC(ctx, pg, netcalc.Options{Grouping: false, Parallel: 1})
-	if err != nil {
-		return nil, fmt.Errorf("conformance: netcalc (ungrouped): %w", err)
+	doGrouping := want(InvGroupingTightens)
+	doCombined := want(InvCombinedMin)
+	doDeterminism := want(InvParallelParity, InvRepeatability)
+	doBehaviour := want(InvSimVsNC, InvSimVsTrajectory, InvSimVsExact, InvExactVsBounds)
+	doMeta := !o.SkipMetamorphic && want(InvMonotoneBAG, InvMonotoneSMax)
+	doIncr := o.Incremental && !o.SkipMetamorphic && want(InvIncrementalParity)
+
+	// Sequential reference runs of the engine variants each selected
+	// tier reads. With Incremental set they route through the cache
+	// pool — persistent across the shrinker's candidates, transient
+	// otherwise — and the cold cross-checks below (combined-minimum,
+	// parity, repeatability, all run outside the pool) keep the caches
+	// honest.
+	pool := o.pool
+	if pool == nil && o.Incremental {
+		pool = newEnginePool()
 	}
-	trG, err := o.Engines.Trajectory(ctx, pg, trajectory.Options{Grouping: true, Parallel: 1})
-	if err != nil {
-		return nil, fmt.Errorf("conformance: trajectory (grouped): %w", err)
+	runNC := o.Engines.NC
+	runTraj := o.Engines.Trajectory
+	if pool != nil {
+		runNC = func(ctx context.Context, pg *afdx.PortGraph, opts netcalc.Options) (*netcalc.Result, error) {
+			return netcalc.AnalyzeWithCacheCtx(ctx, pg, opts, pool.ncCache(opts))
+		}
+		runTraj = func(ctx context.Context, pg *afdx.PortGraph, opts trajectory.Options) (*trajectory.Result, error) {
+			return trajectory.AnalyzeWithCacheCtx(ctx, pg, opts, pool.trCache(opts))
+		}
 	}
-	trU, err := o.Engines.Trajectory(ctx, pg, trajectory.Options{Grouping: false, Parallel: 1})
-	if err != nil {
-		return nil, fmt.Errorf("conformance: trajectory (ungrouped): %w", err)
+	var ncG, ncU *netcalc.Result
+	var trG, trU *trajectory.Result
+	if doGrouping || doCombined || doDeterminism || doBehaviour || doMeta {
+		if ncG, err = runNC(ctx, pg, netcalc.Options{Grouping: true, Parallel: 1}); err != nil {
+			return nil, fmt.Errorf("conformance: netcalc (grouped): %w", err)
+		}
+	}
+	if doGrouping {
+		if ncU, err = runNC(ctx, pg, netcalc.Options{Grouping: false, Parallel: 1}); err != nil {
+			return nil, fmt.Errorf("conformance: netcalc (ungrouped): %w", err)
+		}
+	}
+	if doGrouping || doCombined || doDeterminism {
+		if trG, err = runTraj(ctx, pg, trajectory.Options{Grouping: true, Parallel: 1}); err != nil {
+			return nil, fmt.Errorf("conformance: trajectory (grouped): %w", err)
+		}
+	}
+	if doGrouping || doBehaviour || doMeta {
+		if trU, err = runTraj(ctx, pg, trajectory.Options{Grouping: false, Parallel: 1}); err != nil {
+			return nil, fmt.Errorf("conformance: trajectory (ungrouped): %w", err)
+		}
 	}
 
 	paths := pg.Net.AllPaths()
 
 	// Grouping never loosens a bound.
-	for _, pid := range paths {
-		if g, u := ncG.PathDelays[pid], ncU.PathDelays[pid]; !leq(g, u) {
-			vs = append(vs, Violation{InvGroupingTightens, pid, g, u, "netcalc grouped > ungrouped"})
-		}
-		if g, u := trG.PathDelays[pid], trU.PathDelays[pid]; !leq(g, u) {
-			vs = append(vs, Violation{InvGroupingTightens, pid, g, u, "trajectory grouped > ungrouped"})
+	if doGrouping {
+		for _, pid := range paths {
+			if g, u := ncG.PathDelays[pid], ncU.PathDelays[pid]; !leq(g, u) {
+				vs = append(vs, Violation{InvGroupingTightens, pid, g, u, "netcalc grouped > ungrouped"})
+			}
+			if g, u := trG.PathDelays[pid], trU.PathDelays[pid]; !leq(g, u) {
+				vs = append(vs, Violation{InvGroupingTightens, pid, g, u, "trajectory grouped > ungrouped"})
+			}
 		}
 	}
 
 	// The combined analysis is exactly min(WCNC, Trajectory) per path,
 	// computed over the same engine results the oracle holds. core
 	// re-runs the real engines, so this also cross-checks the oracle's
-	// (possibly fault-injected) engines against the library's.
-	cmp, err := core.CompareWithCtx(ctx, pg,
-		netcalc.Options{Grouping: true, Parallel: 1},
-		trajectory.Options{Grouping: true, Parallel: 1})
-	if err != nil {
-		return nil, fmt.Errorf("conformance: combined analysis: %w", err)
-	}
-	for _, pid := range paths {
-		pc := cmp.PerPath[pid]
-		if want := math.Min(pc.NCUs, pc.TrajectoryUs); pc.BestUs != want {
-			vs = append(vs, Violation{InvCombinedMin, pid, pc.BestUs, want, "combined best != min(nc, trajectory)"})
+	// (possibly fault-injected or cache-served) engine runs against the
+	// library's cold ones.
+	if doCombined {
+		cmp, err := core.CompareWithCtx(ctx, pg,
+			netcalc.Options{Grouping: true, Parallel: 1},
+			trajectory.Options{Grouping: true, Parallel: 1})
+		if err != nil {
+			return nil, fmt.Errorf("conformance: combined analysis: %w", err)
 		}
-		if pc.NCUs != ncG.PathDelays[pid] {
-			vs = append(vs, Violation{InvCombinedMin, pid, ncG.PathDelays[pid], pc.NCUs, "oracle nc run != combined nc column"})
-		}
-		if pc.TrajectoryUs != trG.PathDelays[pid] {
-			vs = append(vs, Violation{InvCombinedMin, pid, trG.PathDelays[pid], pc.TrajectoryUs, "oracle trajectory run != combined trajectory column"})
+		for _, pid := range paths {
+			pc := cmp.PerPath[pid]
+			if want := math.Min(pc.NCUs, pc.TrajectoryUs); pc.BestUs != want {
+				vs = append(vs, Violation{InvCombinedMin, pid, pc.BestUs, want, "combined best != min(nc, trajectory)"})
+			}
+			if pc.NCUs != ncG.PathDelays[pid] {
+				vs = append(vs, Violation{InvCombinedMin, pid, ncG.PathDelays[pid], pc.NCUs, "oracle nc run != combined nc column"})
+			}
+			if pc.TrajectoryUs != trG.PathDelays[pid] {
+				vs = append(vs, Violation{InvCombinedMin, pid, trG.PathDelays[pid], pc.TrajectoryUs, "oracle trajectory run != combined trajectory column"})
+			}
 		}
 	}
 
 	// Parallel parity and repeatability: bit-identical results across
 	// worker counts and across repeated runs.
-	vs = append(vs, o.checkDeterminism(ctx, pg, ncG, trG)...)
+	if doDeterminism {
+		vs = append(vs, o.checkDeterminism(ctx, pg, ncG, trG)...)
+	}
 
 	// Behavioural tier: simulation (pinned and randomized offsets) and,
 	// on small configurations, the exact offset search.
-	vs = append(vs, o.checkBehaviour(ctx, pg, ncG, trU)...)
+	if doBehaviour {
+		vs = append(vs, o.checkBehaviour(ctx, pg, ncG, trU)...)
+	}
 
 	// Metamorphic tier: tightening a contract never loosens any bound.
-	if !o.SkipMetamorphic {
+	if doMeta {
 		mvs, err := o.checkMetamorphic(ctx, net, ncG, trU)
 		if err != nil {
 			return nil, err
 		}
 		vs = append(vs, mvs...)
+	}
+
+	// Incremental-parity tier: what-if sessions over a tightening delta
+	// sequence stay bit-identical to cold recomputes (skipped in the
+	// shrinker's inner loop alongside the metamorphic tier — both build
+	// mutants of mutants there).
+	if doIncr {
+		ivs, err := o.checkIncremental(ctx, net)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, ivs...)
 	}
 
 	sort.Slice(vs, func(i, j int) bool {

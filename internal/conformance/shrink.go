@@ -1,26 +1,15 @@
 package conformance
 
 import (
-	"bytes"
 	"context"
 
 	"afdx/internal/afdx"
 	"afdx/internal/obs"
 )
 
-// cloneNetwork deep-copies a network through its JSON codec (the codec
-// round-trips every analysable configuration; see internal/afdx).
-func cloneNetwork(n *afdx.Network) *afdx.Network {
-	var buf bytes.Buffer
-	if err := n.WriteJSON(&buf); err != nil {
-		panic("conformance: clone encode: " + err.Error()) // a decoded network always re-encodes
-	}
-	c, err := afdx.DecodeJSON(&buf)
-	if err != nil {
-		panic("conformance: clone decode: " + err.Error())
-	}
-	return c
-}
+// cloneNetwork deep-copies a network through the model's JSON-codec
+// clone (see afdx.Network.Clone).
+func cloneNetwork(n *afdx.Network) *afdx.Network { return n.Clone() }
 
 // Shrink minimises a violating configuration: starting from net — on
 // which the oracle reported a violation of invariant inv — it greedily
@@ -30,9 +19,13 @@ func cloneNetwork(n *afdx.Network) *afdx.Network {
 // progress or the evaluation budget (oracle re-runs) is exhausted.
 //
 // The result is the smallest reproducing network found, ready for the
-// replay corpus. Shrinking re-checks candidates with the metamorphic
-// tier disabled: mutants of mutants slow convergence without changing
-// what the replay corpus pins (the corpus re-runs the full lattice).
+// replay corpus. Shrinking re-checks candidates with only the tiers
+// that can produce inv — re-running the rest of the lattice on every
+// candidate slows convergence without changing which candidates are
+// kept (the corpus replay re-runs the full lattice on the result) —
+// and, when the oracle is incremental, with a cache pool persisted
+// across candidates so each re-check pays only for what the last
+// transformation changed.
 func (o *Oracle) Shrink(net *afdx.Network, inv Invariant, budget int) *afdx.Network {
 	return o.ShrinkCtx(context.Background(), net, inv, budget)
 }
@@ -55,7 +48,18 @@ func (o *Oracle) ShrinkCtx(ctx context.Context, net *afdx.Network, inv Invariant
 		budget = 200
 	}
 	inner := *o
-	inner.SkipMetamorphic = inv != InvMonotoneBAG && inv != InvMonotoneSMax
+	// stillFails below only asks whether inv reproduces, so the inner
+	// oracle runs just the tiers that can produce it (violations of
+	// other invariants would be discarded anyway).
+	inner.only = inv
+	inner.SkipMetamorphic = false // `only` already restricts the tiers
+	if inner.Incremental {
+		// One pool for the whole minimisation: successive candidates
+		// differ by one greedy transformation, so most port and path
+		// outcomes carry over between oracle re-runs. The shrinker is
+		// sequential, satisfying the pool's single-writer contract.
+		inner.pool = newEnginePool()
+	}
 	evals := 0
 	stillFails := func(cand *afdx.Network) bool {
 		if evals >= budget {
@@ -80,8 +84,10 @@ func (o *Oracle) ShrinkCtx(ctx context.Context, net *afdx.Network, inv Invariant
 	for progress := true; progress && evals < budget; {
 		progress = false
 		// Pass 1: drop whole VLs, largest index first so the survivors
-		// keep stable identifiers.
-		for i := len(cur.VLs) - 1; i >= 0 && len(cur.VLs) > 1; i-- {
+		// keep stable identifiers. Each pass stops cloning once the
+		// budget is spent — stillFails would reject the candidates
+		// unevaluated, so building them is pure waste.
+		for i := len(cur.VLs) - 1; i >= 0 && len(cur.VLs) > 1 && evals < budget; i-- {
 			cand := cloneNetwork(cur)
 			cand.VLs = append(cand.VLs[:i], cand.VLs[i+1:]...)
 			pruneNodes(cand)
@@ -92,10 +98,10 @@ func (o *Oracle) ShrinkCtx(ctx context.Context, net *afdx.Network, inv Invariant
 		}
 		// Pass 2: collapse each VL's multicast path set to one path.
 		for i := range cur.VLs {
-			if len(cur.VLs[i].Paths) <= 1 {
+			if len(cur.VLs[i].Paths) <= 1 || evals >= budget {
 				continue
 			}
-			for keep := 0; keep < len(cur.VLs[i].Paths); keep++ {
+			for keep := 0; keep < len(cur.VLs[i].Paths) && evals < budget; keep++ {
 				cand := cloneNetwork(cur)
 				cand.VLs[i].Paths = [][]string{cand.VLs[i].Paths[keep]}
 				pruneNodes(cand)
@@ -108,7 +114,7 @@ func (o *Oracle) ShrinkCtx(ctx context.Context, net *afdx.Network, inv Invariant
 		}
 		// Pass 3: shrink frame sizes to the Ethernet minimum.
 		for i := range cur.VLs {
-			if cur.VLs[i].SMaxBytes <= afdx.MinFrameBytes {
+			if cur.VLs[i].SMaxBytes <= afdx.MinFrameBytes || evals >= budget {
 				continue
 			}
 			cand := cloneNetwork(cur)

@@ -76,6 +76,15 @@ func CompareWithCtx(ctx context.Context, pg *afdx.PortGraph, ncOpts netcalc.Opti
 	if err != nil {
 		return nil, fmt.Errorf("core: trajectory analysis: %w", err)
 	}
+	return Combine(pg, nc, tr)
+}
+
+// Combine assembles the per-path comparison from already-computed
+// engine results (CompareWithCtx = two engine runs + Combine). The
+// incremental what-if layer calls it directly with cache-served
+// results, so the combined figures of an incremental step are
+// assembled by exactly the code path a cold comparison uses.
+func Combine(pg *afdx.PortGraph, nc *netcalc.Result, tr *trajectory.Result) (*Comparison, error) {
 	c := &Comparison{Net: pg.Net, PerPath: map[afdx.PathID]PathComparison{}}
 	for _, pid := range pg.Net.AllPaths() {
 		dn, ok1 := nc.PathDelays[pid]

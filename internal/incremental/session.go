@@ -1,0 +1,142 @@
+package incremental
+
+import (
+	"context"
+	"fmt"
+
+	"afdx/internal/afdx"
+	"afdx/internal/core"
+	"afdx/internal/netcalc"
+	"afdx/internal/trajectory"
+)
+
+// Options configures a what-if Session: the validation mode used when a
+// delta batch is re-validated, and the engine option sets the cached
+// analyses run under. A session's caches are bound to these options;
+// change options by opening a new session.
+type Options struct {
+	Mode       afdx.ValidationMode
+	NC         netcalc.Options
+	Trajectory trajectory.Options
+}
+
+// DefaultOptions analyses with both engines' paper defaults under
+// Strict validation.
+func DefaultOptions() Options {
+	return Options{
+		Mode:       afdx.Strict,
+		NC:         netcalc.DefaultOptions(),
+		Trajectory: trajectory.DefaultOptions(),
+	}
+}
+
+// Result carries one analysis round of a session: both engine results
+// and the combined per-path comparison, each bit-identical to what a
+// cold run on the session's current network would produce.
+type Result struct {
+	NC         *netcalc.Result
+	Trajectory *trajectory.Result
+	Comparison *core.Comparison
+}
+
+// Session is the stateful what-if loop: it owns a private clone of a
+// configuration, re-validates and swaps it under Apply'd deltas, and
+// Analyze serves unchanged ports and paths from the engines' incremental
+// caches. Sessions are not safe for concurrent use (the caches are
+// single-writer); Options.NC.Parallel / Options.Trajectory.Parallel
+// still fan each individual analysis out, and results do not depend on
+// those values.
+type Session struct {
+	opts Options
+	net  *afdx.Network
+	pg   *afdx.PortGraph
+	nc   *netcalc.Cache
+	tr   *trajectory.Cache
+}
+
+// NewSession clones net (later deltas never touch the caller's value),
+// validates it by building the port graph, and wires the engine caches.
+// When the session's NC options match the trajectory engine's internal
+// prefix run (netcalc defaults, any Parallel), both analyses share one
+// per-port cache and the prefix run of Analyze is a pure cache hit.
+func NewSession(net *afdx.Network, opts Options) (*Session, error) {
+	clone := net.Clone()
+	pg, err := afdx.BuildPortGraph(clone, opts.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: %w", err)
+	}
+	tr := trajectory.NewCache(opts.Trajectory)
+	nc := netcalc.NewCache(opts.NC)
+	norm, def := opts.NC, netcalc.DefaultOptions()
+	norm.Parallel, def.Parallel = 0, 0
+	if norm == def {
+		nc = tr.PrefixNCCache()
+	} else {
+		// Distinct caches still fingerprint the same graphs: share the
+		// per-graph memo so each round renders them once.
+		nc.ShareGraphMemo(tr.PrefixNCCache())
+	}
+	return &Session{opts: opts, net: clone, pg: pg, nc: nc, tr: tr}, nil
+}
+
+// Network returns a clone of the session's current configuration (with
+// all applied deltas), e.g. for saving an accepted what-if scenario.
+func (s *Session) Network() *afdx.Network { return s.net.Clone() }
+
+// PortGraph returns the port-level view of the session's current
+// configuration (e.g. for rendering per-path floors alongside an
+// analysis round). Callers must treat it as read-only: the session's
+// caches key off it.
+func (s *Session) PortGraph() *afdx.PortGraph { return s.pg }
+
+// Apply mutates the session's configuration by the given deltas, in
+// order, as one atomic batch: the batch is applied to a scratch clone
+// and re-validated, and only on success does the session swap to the
+// new configuration. On error the session is unchanged.
+func (s *Session) Apply(deltas ...Delta) error {
+	cand := s.net.Clone()
+	for _, d := range deltas {
+		if err := applyDelta(cand, d); err != nil {
+			return err
+		}
+	}
+	pg, err := afdx.BuildPortGraph(cand, s.opts.Mode)
+	if err != nil {
+		return fmt.Errorf("incremental: delta batch rejected: %w", err)
+	}
+	s.net, s.pg = cand, pg
+	return nil
+}
+
+// Analyze runs both engines over the current configuration through the
+// session's caches and assembles the combined comparison. Ports and
+// paths whose inputs are unchanged since the previous Analyze are
+// served from cache; the result is bit-identical to a cold run. An
+// analysis error (e.g. cancellation, instability after a delta) leaves
+// the caches consistent — every stored entry is still keyed by its
+// exact inputs — so the session remains usable.
+func (s *Session) Analyze(ctx context.Context) (*Result, error) {
+	nc, err := netcalc.AnalyzeWithCacheCtx(ctx, s.pg, s.opts.NC, s.nc)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: network calculus analysis: %w", err)
+	}
+	tr, err := trajectory.AnalyzeWithCacheCtx(ctx, s.pg, s.opts.Trajectory, s.tr)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: trajectory analysis: %w", err)
+	}
+	cmp, err := core.Combine(s.pg, nc, tr)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: %w", err)
+	}
+	return &Result{NC: nc, Trajectory: tr, Comparison: cmp}, nil
+}
+
+// WhatIf is Apply + Analyze: one what-if step. The delta batch is
+// atomic; if it is rejected, the session's configuration is unchanged
+// and no analysis runs.
+func (s *Session) WhatIf(ctx context.Context, deltas ...Delta) (*Result, error) {
+	if err := s.Apply(deltas...); err != nil {
+		return nil, err
+	}
+	return s.Analyze(ctx)
+}

@@ -322,7 +322,7 @@ func runGrouping(p *Pass) {
 
 func runDeadline(p *Pass) {
 	for _, pid := range p.Net.AllPaths() {
-		vl := p.Net.VL(pid.VL)
+		vl := p.Graph.VL(pid.VL)
 		if vl == nil || vl.BAGMs <= 0 {
 			continue // identity/contract analyzers cover these
 		}

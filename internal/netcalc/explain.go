@@ -42,7 +42,7 @@ func Explain(pg *afdx.PortGraph, pid afdx.PathID, opts Options) (*PathExplanatio
 	if !ok {
 		return nil, fmt.Errorf("netcalc: unknown path %v", pid)
 	}
-	vl := pg.Net.VL(pid.VL)
+	vl := pg.VL(pid.VL)
 	ex := &PathExplanation{Path: pid, DelayUs: d}
 	for _, portID := range pg.PathPorts(pid) {
 		pr := res.Ports[portID]

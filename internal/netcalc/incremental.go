@@ -1,0 +1,370 @@
+package netcalc
+
+import (
+	"context"
+	"strconv"
+
+	"afdx/internal/afdx"
+	"afdx/internal/obs"
+)
+
+// Cache memoizes per-port analysis outcomes across runs of the same
+// engine options, keyed by a per-port dependency fingerprint. It backs
+// the incremental what-if layer (internal/incremental): after a small
+// configuration delta, only the ports inside the change's downstream
+// cone carry a different fingerprint, so a cached run recomputes just
+// that dirty frontier in PortGraph.Ranks order and serves every other
+// port from the cache.
+//
+// # Validity and bit-identity
+//
+// A cached outcome is reused only when the port's *inputs* are bitwise
+// identical to the run that produced it:
+//
+//   - the port signature — link rate, latency, and the ordered flow
+//     list with each flow's full traffic contract (BAG, s_max, s_min,
+//     priority), input link and its rate, and the flow's downstream
+//     fan-out ports (a reroute below a port changes where its outcome
+//     writes, so the fan-out is part of the signature);
+//   - the per-flow upstream state — the (burst, prefix-delay) pair of
+//     every flow as merged from strictly lower ranks, compared bitwise.
+//
+// analyzePort is a pure function of exactly those inputs, so a hit's
+// stored outcome equals what a recomputation would produce, bit for
+// bit; by induction over the ranks an incremental run is bit-identical
+// to a cold run for *any* sequence of deltas — invalidation needs no
+// delta bookkeeping at all, it falls out of input comparison, and the
+// downstream cone cuts off early exactly where inflated envelopes stop
+// differing.
+//
+// Hit/miss decisions are made sequentially before each rank fans out,
+// so they (and the obs counters below) are deterministic at every
+// Options.Parallel value. Results returned by cached runs share
+// immutable sub-structures (PortResult maps) with the cache and with
+// other results of the same session; callers must treat Results as
+// read-only, which every engine consumer already does.
+//
+// A Cache is bound to one set of engine options (Parallel excluded —
+// worker counts do not change results) and must not be shared across
+// goroutines: the incremental layer drives it from one session loop.
+type Cache struct {
+	opts  Options
+	bound bool
+	ports map[afdx.PortID]*cacheEntry
+
+	// Per-graph memo of the fingerprint rendering and the stability
+	// lint (see sigMemo); shareable across caches of different options
+	// because its contents depend on the graph alone.
+	sig *sigMemo
+
+	// Single-slot whole-result memo: the last (graph, options) analyzed
+	// and its Result. Same graph pointer + same options ⇒ bit-identical
+	// result, so analyzeWith returns lastRes without touching the port
+	// entries. One oracle candidate triggers the same NC analysis up to
+	// three times (the direct run plus each trajectory engine's prefix
+	// run); this memo collapses the repeats to pure pointer returns.
+	lastPG   *afdx.PortGraph
+	lastOpts Options
+	lastRes  *Result
+}
+
+// sigMemo is a single-slot per-graph memo of everything analyzeWith
+// derives from the graph alone: the fingerprint rendering and whether
+// the graph passed the stability lint. Keyed by pointer identity:
+// BuildPortGraph output is immutable, and the memo's strong reference
+// keeps the pointer from being reused for a different graph.
+type sigMemo struct {
+	pg     *afdx.PortGraph
+	nexts  map[FlowPortKey]string
+	vals   map[afdx.PortID]string
+	stabPG *afdx.PortGraph // last graph that passed lint.CheckStability
+}
+
+// cacheEntry holds up to two generations of outcomes for one port,
+// most recent first. The second slot makes the cache proof against the
+// A/B/A alternation of candidate sweeps (each conformance shrink
+// candidate mutates the same base configuration a different way): the
+// sweep's recomputation fills slot 0 while slot 1 keeps the outcome
+// for the base values the next candidate flips back to.
+type cacheEntry struct {
+	slots [2]*cacheSlot
+}
+
+type cacheSlot struct {
+	sig    string
+	inputs []float64
+	out    *portOutcome
+}
+
+// match returns the first slot matching the port's current fingerprint,
+// promoting a slot-1 hit to the front.
+func (e *cacheEntry) match(sig string, rn *ncRun, id afdx.PortID) *cacheSlot {
+	for si, s := range e.slots {
+		if s == nil || s.sig != sig || !rn.inputsMatch(id, s.inputs) {
+			continue
+		}
+		if si == 1 {
+			e.slots[0], e.slots[1] = e.slots[1], e.slots[0]
+		}
+		return e.slots[0]
+	}
+	return nil
+}
+
+// store pushes a freshly computed outcome into slot 0, keeping the
+// previous front as the fallback generation.
+func (e *cacheEntry) store(s *cacheSlot) {
+	e.slots[1] = e.slots[0]
+	e.slots[0] = s
+}
+
+// NewCache returns an empty outcome cache for the given engine options.
+func NewCache(opts Options) *Cache {
+	c := &Cache{sig: &sigMemo{}}
+	c.ensureOpts(opts)
+	return c
+}
+
+// ShareGraphMemo makes c reuse donor's per-graph fingerprint memo, so
+// a pool of caches with different engine options (the conformance
+// oracle runs grouping on and off against the same candidate) renders
+// each graph's fingerprints and runs its stability lint once instead
+// of once per cache. Fingerprints depend only on the graph, never on
+// options, so sharing cannot change any cache decision.
+func (c *Cache) ShareGraphMemo(donor *Cache) { c.sig = donor.sig }
+
+// normalizeOpts strips the fields that cannot change results: the
+// worker count. Caches are shared across Parallel values.
+func normalizeOpts(opts Options) Options {
+	opts.Parallel = 0
+	return opts
+}
+
+// ensureOpts binds the cache to the run's options, discarding every
+// entry when the analysis-relevant options changed (outcomes under
+// different options are not comparable).
+func (c *Cache) ensureOpts(opts Options) {
+	n := normalizeOpts(opts)
+	if !c.bound || c.opts != n {
+		c.opts = n
+		c.bound = true
+		c.ports = make(map[afdx.PortID]*cacheEntry)
+		c.lastPG, c.lastRes = nil, nil
+	}
+}
+
+// AnalyzeWithCache is AnalyzeWithCacheCtx without observability.
+func AnalyzeWithCache(pg *afdx.PortGraph, opts Options, c *Cache) (*Result, error) {
+	return AnalyzeWithCacheCtx(context.Background(), pg, opts, c)
+}
+
+// AnalyzeWithCacheCtx runs the WCNC analysis, serving unchanged ports
+// from c and recomputing only the dirty frontier (see Cache). A nil
+// cache degenerates to AnalyzeCtx. The result is bit-identical to a
+// cold AnalyzeCtx run on the same graph and options — the incremental
+// determinism contract checked by the conformance oracle's
+// incremental-parity invariant.
+func AnalyzeWithCacheCtx(ctx context.Context, pg *afdx.PortGraph, opts Options, c *Cache) (*Result, error) {
+	return analyzeWith(ctx, pg, opts, c)
+}
+
+// incrMetrics counts cache traffic of one incremental run. All three
+// are Deterministic: reuse decisions are sequential input comparisons,
+// identical at every worker count.
+type incrMetrics struct {
+	hits          *obs.Counter
+	recomputes    *obs.Counter
+	invalidations *obs.Counter
+}
+
+func newIncrMetrics(reg *obs.Registry) incrMetrics {
+	if reg == nil {
+		return incrMetrics{}
+	}
+	return incrMetrics{
+		hits: reg.Counter("netcalc.incr_port_hits", obs.Deterministic,
+			"port outcomes served from the incremental cache"),
+		recomputes: reg.Counter("netcalc.incr_port_recomputes", obs.Deterministic,
+			"ports recomputed by incremental runs (cold or invalidated)"),
+		invalidations: reg.Counter("netcalc.incr_port_invalidations", obs.Deterministic,
+			"cached port outcomes invalidated by a changed fingerprint"),
+	}
+}
+
+// portInputs collects the upstream state of a port's flows — the
+// (burst, prefix-delay) pairs merged from lower ranks, in the port's
+// canonical flow order. The second return is false when a pair is
+// missing (source seeding or upstream merge incomplete), which forces
+// a recomputation so the engine's own error reporting runs.
+func (rn *ncRun) portInputs(id afdx.PortID) ([]float64, bool) {
+	port := rn.pg.Ports[id]
+	in := make([]float64, 0, 2*len(port.Flows))
+	for _, f := range port.Flows {
+		key := FlowPortKey{f.VL.ID, id}
+		b, ok := rn.res.Bursts[key]
+		p, ok2 := rn.res.PrefixDelays[key]
+		if !ok || !ok2 {
+			return nil, false
+		}
+		in = append(in, b, p)
+	}
+	return in, true
+}
+
+// inputsMatch reports whether the port's current upstream state equals
+// the stored inputs of a cache entry, bitwise — portInputs followed by
+// a slice compare, without materialising the slice (the hit path runs
+// for every port of every warm round; not allocating there matters).
+func (rn *ncRun) inputsMatch(id afdx.PortID, want []float64) bool {
+	port := rn.pg.Ports[id]
+	if len(want) != 2*len(port.Flows) {
+		return false
+	}
+	for i, f := range port.Flows {
+		key := FlowPortKey{f.VL.ID, id}
+		b, ok := rn.res.Bursts[key]
+		if !ok || b != want[2*i] {
+			return false
+		}
+		p, ok := rn.res.PrefixDelays[key]
+		if !ok || p != want[2*i+1] {
+			return false
+		}
+	}
+	return true
+}
+
+// portSignature renders the analysis-relevant fingerprint of one port:
+// everything analyzePort reads except the upstream (burst, prefix)
+// state, which portInputs compares separately. nexts carries each
+// flow's encoded downstream fan-out (flowNexts). Floats render in the
+// exact binary mantissa/exponent form (-0 and 0 distinct): signature
+// comparisons must be bitwise, not merely value-close. buf is a
+// reusable scratch buffer (the render runs for every port of every
+// fresh graph, so it appends rather than allocating per field).
+func portSignature(pg *afdx.PortGraph, id afdx.PortID, nexts map[FlowPortKey]string, buf []byte) (string, []byte) {
+	port := pg.Ports[id]
+	b := buf[:0]
+	b = strconv.AppendFloat(b, port.RateBitsPerUs, 'b', -1, 64)
+	b = append(b, ';')
+	b = strconv.AppendFloat(b, port.LatencyUs, 'b', -1, 64)
+	for _, f := range port.Flows {
+		b = append(b, ';')
+		b = append(b, f.VL.ID...)
+		b = append(b, ',')
+		b = append(b, f.Prev...)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, f.VL.BAGMs, 'b', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(f.VL.SMaxBytes), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(f.VL.SMinBytes), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(f.VL.Priority), 10)
+		b = append(b, ',')
+		// The grouping refinement shapes each serialization group by its
+		// input link's rate; a changed upstream link speed must
+		// invalidate even when the flow list is unchanged.
+		inRate := 0.0
+		if f.Prev != "" {
+			if in := pg.Ports[afdx.PortID{From: f.Prev, To: id.From}]; in != nil {
+				inRate = in.RateBitsPerUs
+			}
+		}
+		b = strconv.AppendFloat(b, inRate, 'b', -1, 64)
+		b = append(b, ',')
+		b = append(b, nexts[FlowPortKey{f.VL.ID, id}]...)
+	}
+	return string(b), b
+}
+
+// flowNexts encodes, for every (VL, port) incidence, the ports
+// immediately downstream of the port on the VL's paths — the targets
+// of the outcome's envelope writes (cf. nextPorts), in deterministic
+// path-scan order.
+func flowNexts(pg *afdx.PortGraph) map[FlowPortKey]string {
+	incidences := 0
+	for _, port := range pg.Ports {
+		incidences += len(port.Flows)
+	}
+	lists := make(map[FlowPortKey][]afdx.PortID, incidences)
+	for _, v := range pg.Net.VLs {
+		for pi := range v.Paths {
+			seq := pg.PathPorts(afdx.PathID{VL: v.ID, PathIdx: pi})
+			for k := 0; k+1 < len(seq); k++ {
+				key := FlowPortKey{v.ID, seq[k]}
+				cur := lists[key]
+				// Fan-out lists are tiny (one entry per downstream branch
+				// of a multicast tree): a linear dedup scan beats a set.
+				dup := false
+				for _, id := range cur {
+					if id == seq[k+1] {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					lists[key] = append(cur, seq[k+1])
+				}
+			}
+		}
+	}
+	out := make(map[FlowPortKey]string, len(lists))
+	var b []byte
+	for key, ids := range lists {
+		b = b[:0]
+		for i, id := range ids {
+			if i > 0 {
+				b = append(b, '|')
+			}
+			b = append(b, id.From...)
+			b = append(b, "->"...)
+			b = append(b, id.To...)
+		}
+		out[key] = string(b)
+	}
+	return out
+}
+
+// PortSignatures returns the fingerprint of every port of the graph.
+// The trajectory engine's path-level cache consumes this: a cached
+// path stays valid only while the signature of every crossed port is
+// unchanged (see trajectory.Cache).
+func PortSignatures(pg *afdx.PortGraph) map[afdx.PortID]string {
+	nexts := flowNexts(pg)
+	out := make(map[afdx.PortID]string, len(pg.Ports))
+	var buf []byte
+	for id := range pg.Ports {
+		out[id], buf = portSignature(pg, id, nexts, buf)
+	}
+	return out
+}
+
+// signatures returns the per-port fingerprints and per-flow fan-out
+// encoding of pg, memoized per graph. Signatures depend only on the
+// graph, never on options, so the memo survives ensureOpts rebinding —
+// and incremental consumers analyze each graph several times in a row
+// (the direct NC run, then the trajectory engines' prefix runs), where
+// the fingerprint rendering, not the analysis, dominates a warm run.
+func (c *Cache) signatures(pg *afdx.PortGraph) (map[afdx.PortID]string, map[FlowPortKey]string) {
+	m := c.sig
+	if m.pg != pg {
+		nexts := flowNexts(pg)
+		vals := make(map[afdx.PortID]string, len(pg.Ports))
+		var buf []byte
+		for id := range pg.Ports {
+			vals[id], buf = portSignature(pg, id, nexts, buf)
+		}
+		m.pg, m.nexts, m.vals = pg, nexts, vals
+	}
+	return m.vals, m.nexts
+}
+
+// SignaturesFor is PortSignatures through the cache's per-graph memo.
+// The trajectory cache reads port signatures through its nested prefix
+// cache so one rendering serves both engines; callers must treat the
+// returned map as read-only.
+func (c *Cache) SignaturesFor(pg *afdx.PortGraph) map[afdx.PortID]string {
+	sigs, _ := c.signatures(pg)
+	return sigs
+}

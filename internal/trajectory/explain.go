@@ -46,7 +46,16 @@ type TransitionTerm struct {
 //	DelayUs = sum(interference, with group caps) + sum(transitions)
 //	        + LatencyUs - CriticalT
 func Explain(pg *afdx.PortGraph, pid afdx.PathID, opts Options) (*Explanation, error) {
-	res, err := Analyze(pg, opts)
+	return ExplainCtx(context.Background(), pg, pid, opts)
+}
+
+// ExplainCtx is Explain with the caller's context threaded through the
+// underlying analysis and decomposition: cancellation propagates into
+// the busy-period and candidate loops, and an obs registry or tracer on
+// ctx observes the runs. (Explain used to rebuild its analyzer on
+// context.Background(), silently dropping both.)
+func ExplainCtx(ctx context.Context, pg *afdx.PortGraph, pid afdx.PathID, opts Options) (*Explanation, error) {
+	res, err := AnalyzeCtx(ctx, pg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -54,13 +63,13 @@ func Explain(pg *afdx.PortGraph, pid afdx.PathID, opts Options) (*Explanation, e
 	if !ok {
 		return nil, fmt.Errorf("trajectory: unknown path %v", pid)
 	}
-	a, err := newAnalyzer(context.Background(), pg, opts)
+	a, err := newAnalyzer(ctx, pg, opts)
 	if err != nil {
 		return nil, err
 	}
-	vl := pg.Net.VL(pid.VL)
+	vl := pg.VL(pid.VL)
 	ports := pg.PathPorts(pid)
-	inter, err := a.interferenceSet(vl, ports, nil)
+	inter, err := a.interferenceSet(ctx, vl, ports, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"afdx/internal/afdx"
+	"afdx/internal/core/tol"
 	"afdx/internal/lint"
 	"afdx/internal/netcalc"
 	"afdx/internal/obs"
@@ -215,6 +216,27 @@ type analyzer struct {
 // newAnalyzer validates the configuration for trajectory analysis and
 // prepares the shared state (prefix bounds).
 func newAnalyzer(ctx context.Context, pg *afdx.PortGraph, opts Options) (*analyzer, error) {
+	a, err := newAnalyzerShell(ctx, pg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.PrefixMode == PrefixNC {
+		ncOpts := netcalc.DefaultOptions()
+		ncOpts.Parallel = opts.Parallel
+		nc, err := netcalc.AnalyzeCtx(ctx, pg, ncOpts)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: computing NC prefix bounds: %w", err)
+		}
+		a.ncPrefix = nc.PrefixDelays
+	}
+	return a, nil
+}
+
+// newAnalyzerShell runs the configuration checks and builds the shared
+// analyzer state without the NC prefix run; newAnalyzer adds a cold
+// prefix run, the incremental entry point (incremental.go) a cached
+// one.
+func newAnalyzerShell(ctx context.Context, pg *afdx.PortGraph, opts Options) (*analyzer, error) {
 	a := &analyzer{
 		pg:         pg,
 		opts:       opts,
@@ -239,15 +261,6 @@ func newAnalyzer(ctx context.Context, pg *afdx.PortGraph, opts Options) (*analyz
 			return nil, fmt.Errorf("trajectory: VL %s has priority %d but VL %s has %d; the trajectory analysis supports FIFO (uniform priority) only — use netcalc for static-priority configurations",
 				vl.ID, vl.Priority, pg.Net.VLs[0].ID, prio)
 		}
-	}
-	if opts.PrefixMode == PrefixNC {
-		ncOpts := netcalc.DefaultOptions()
-		ncOpts.Parallel = opts.Parallel
-		nc, err := netcalc.AnalyzeCtx(ctx, pg, ncOpts)
-		if err != nil {
-			return nil, fmt.Errorf("trajectory: computing NC prefix bounds: %w", err)
-		}
-		a.ncPrefix = nc.PrefixDelays
 	}
 	return a, nil
 }
@@ -287,7 +300,7 @@ func AnalyzeCtx(ctx context.Context, pg *afdx.PortGraph, opts Options) (*Result,
 	err = parallel.ForEachCtx(ctx, opts.Parallel, len(paths), func(i int) error {
 		_, psp := obs.StartSpan(ctx, "path:"+paths[i].String())
 		defer psp.End()
-		det, err := a.analyzePath(paths[i])
+		det, err := a.analyzePath(ctx, paths[i])
 		dets[i] = det
 		return err
 	})
@@ -314,14 +327,16 @@ type interferer struct {
 }
 
 // analyzePath bounds the end-to-end delay of one (VL, destination) path.
-func (a *analyzer) analyzePath(pid afdx.PathID) (PathDetail, error) {
+// ctx is checked inside the busy-period and candidate loops, so a
+// pathological configuration can be cancelled mid-port.
+func (a *analyzer) analyzePath(ctx context.Context, pid afdx.PathID) (PathDetail, error) {
 	ports := a.pg.PathPorts(pid)
-	vl := a.pg.Net.VL(pid.VL)
+	vl := a.pg.VL(pid.VL)
 	if len(ports) == 0 || vl == nil {
 		return PathDetail{}, fmt.Errorf("trajectory: unknown path %v", pid)
 	}
 	a.m.paths.Inc()
-	return a.analyzePortSeq(vl, ports, nil)
+	return a.analyzePortSeq(ctx, vl, ports, nil)
 }
 
 // analyzePortSeq bounds the latest complete transmission of a frame of vl
@@ -329,12 +344,15 @@ func (a *analyzer) analyzePath(pid afdx.PathID) (PathDetail, error) {
 // visiting is the per-goroutine set of (VL, port) prefix computations on
 // the current recursion chain (PrefixTrajectory cycle detection); nil at
 // a recursion root.
-func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID, visiting map[netcalc.FlowPortKey]bool) (PathDetail, error) {
+func (a *analyzer) analyzePortSeq(ctx context.Context, vl *afdx.VirtualLink, ports []afdx.PortID, visiting map[netcalc.FlowPortKey]bool) (PathDetail, error) {
+	if err := ctx.Err(); err != nil {
+		return PathDetail{}, fmt.Errorf("trajectory: analysis cancelled: %w", err)
+	}
 	// Deterministic counters cover the top-level work set only
 	// (visiting == nil): recursive prefix analyses flow through the
 	// contended cache and may be duplicated under parallel schedules.
 	topLevel := visiting == nil
-	inter, err := a.interferenceSet(vl, ports, visiting)
+	inter, err := a.interferenceSet(ctx, vl, ports, visiting)
 	if err != nil {
 		return PathDetail{}, err
 	}
@@ -365,7 +383,7 @@ func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID, vis
 		}
 	}
 
-	busy, rounds, err := a.sourceBusyPeriod(vl, ports[0], inter)
+	busy, rounds, err := a.sourceBusyPeriod(ctx, vl, ports[0], inter)
 	if err != nil {
 		return PathDetail{}, err
 	}
@@ -375,12 +393,22 @@ func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID, vis
 		a.m.busyRounds.Observe(int64(rounds))
 	}
 
-	cands := candidateOffsets(inter, busy)
+	cands, err := candidateOffsets(ctx, inter, busy)
+	if err != nil {
+		return PathDetail{}, err
+	}
 	if topLevel {
 		a.m.candidates.Add(int64(len(cands)))
 	}
 	best, bestT := math.Inf(-1), 0.0
-	for _, t := range cands {
+	for i, t := range cands {
+		// Candidate sets grow with busy period / BAG ratios; poll for
+		// cancellation without paying a context lookup per offset.
+		if i&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return PathDetail{}, fmt.Errorf("trajectory: candidate evaluation cancelled: %w", err)
+			}
+		}
 		v := a.interferenceAt(inter, t) + deltaSum + lSum - t
 		if v > best {
 			best, bestT = v, t
@@ -398,7 +426,7 @@ func (a *analyzer) analyzePortSeq(vl *afdx.VirtualLink, ports []afdx.PortID, vis
 // interferenceSet builds the interferer list of a path: every VL sharing
 // at least one of its ports (including the analyzed VL itself), with the
 // first shared port, the input link there, and the window alignment A_ij.
-func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID, visiting map[netcalc.FlowPortKey]bool) ([]interferer, error) {
+func (a *analyzer) interferenceSet(ctx context.Context, vl *afdx.VirtualLink, ports []afdx.PortID, visiting map[netcalc.FlowPortKey]bool) ([]interferer, error) {
 	// Minimum arrival times of the analyzed flow at each of its ports
 	// (per-port rates: real configurations mix link speeds).
 	sMin := make(map[afdx.PortID]float64, len(ports))
@@ -425,7 +453,7 @@ func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID, vi
 				}
 				continue
 			}
-			sMaxJ, err := a.sMax(f.VL, h, visiting)
+			sMaxJ, err := a.sMax(ctx, f.VL, h, visiting)
 			if err != nil {
 				return nil, err
 			}
@@ -462,7 +490,7 @@ func (a *analyzer) interferenceSet(vl *afdx.VirtualLink, ports []afdx.PortID, vi
 // shared prefix cache; visiting is this goroutine's recursion chain and
 // detects cyclic prefix dependencies without mistaking another worker's
 // in-flight computation for one.
-func (a *analyzer) sMax(vl *afdx.VirtualLink, port afdx.PortID, visiting map[netcalc.FlowPortKey]bool) (float64, error) {
+func (a *analyzer) sMax(ctx context.Context, vl *afdx.VirtualLink, port afdx.PortID, visiting map[netcalc.FlowPortKey]bool) (float64, error) {
 	key := netcalc.FlowPortKey{VL: vl.ID, Port: port}
 	if a.opts.PrefixMode == PrefixNC {
 		d, ok := a.ncPrefix[key]
@@ -491,7 +519,7 @@ func (a *analyzer) sMax(vl *afdx.VirtualLink, port afdx.PortID, visiting map[net
 		visiting = map[netcalc.FlowPortKey]bool{}
 	}
 	visiting[key] = true
-	det, err := a.analyzePortSeq(vl, prefix, visiting)
+	det, err := a.analyzePortSeq(ctx, vl, prefix, visiting)
 	delete(visiting, key)
 	if err != nil {
 		return 0, err
@@ -561,7 +589,7 @@ func (a *analyzer) maxSharedFrameTime(prev, next afdx.PortID) float64 {
 //
 // The second return value is the number of fixpoint rounds performed —
 // the per-path iteration cost surfaced by the observability layer.
-func (a *analyzer) sourceBusyPeriod(vl *afdx.VirtualLink, src afdx.PortID, inter []interferer) (float64, int, error) {
+func (a *analyzer) sourceBusyPeriod(ctx context.Context, vl *afdx.VirtualLink, src afdx.PortID, inter []interferer) (float64, int, error) {
 	port := a.pg.Ports[src]
 	sumC, minC, util := 0.0, math.Inf(1), 0.0
 	for _, f := range port.Flows {
@@ -586,8 +614,15 @@ func (a *analyzer) sourceBusyPeriod(vl *afdx.VirtualLink, src afdx.PortID, inter
 	bMax := sumC / (1 - util)
 	maxIter := int((bMax-b)/minC) + 2
 	for iter := 0; iter < maxIter; iter++ {
+		// High-utilization ports take thousands of rounds to converge;
+		// poll for cancellation at a stride that keeps the check free.
+		if iter&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return 0, iter, fmt.Errorf("trajectory: busy-period fixpoint of port %s cancelled: %w", src, err)
+			}
+		}
 		nb := work(b)
-		if nb <= b+1e-9 {
+		if nb <= b+tol.At(b) {
 			return nb, iter + 1, nil
 		}
 		b = nb
@@ -606,26 +641,36 @@ func frameCount(x, t float64) int {
 	if x < 0 {
 		x = 0
 	}
-	return 1 + int(math.Floor((x+1e-9)/t))
+	return 1 + int(math.Floor((x+tol.At(x))/t))
 }
 
 // candidateOffsets enumerates the emission offsets where the objective
 // can attain its maximum: t = 0 and every step point k*T_j - A_ij of an
-// interferer inside the busy period.
-func candidateOffsets(inter []interferer, busy float64) []float64 {
+// interferer inside the busy period. A long busy period over a short
+// BAG yields thousands of step points per interferer, so the
+// enumeration polls ctx and can be cancelled mid-port. All comparisons
+// use the shared relative tolerance (tol): offsets scale with the busy
+// period, which exceeds 1e6 us on large-BAG configurations where an
+// absolute 1e-9 guard would fall below one ulp.
+func candidateOffsets(ctx context.Context, inter []interferer, busy float64) ([]float64, error) {
 	cands := []float64{0}
 	for _, it := range inter {
 		T := it.vl.BAGUs()
-		start := math.Ceil((0-it.aUs)/T - 1e-9)
+		start := math.Ceil((0-it.aUs)/T - tol.At(it.aUs/T))
 		if start < 1 {
 			start = 1
 		}
-		for k := start; ; k++ {
+		for k, n := start, 0; ; k, n = k+1, n+1 {
+			if n&8191 == 8191 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("trajectory: candidate enumeration cancelled: %w", err)
+				}
+			}
 			t := k*T - it.aUs
-			if t > busy+1e-9 {
+			if tol.Gt(t, busy) {
 				break
 			}
-			if t > 1e-9 {
+			if t > tol.At(t) {
 				cands = append(cands, t)
 			}
 		}
@@ -634,11 +679,11 @@ func candidateOffsets(inter []interferer, busy float64) []float64 {
 	// Deduplicate within tolerance.
 	out := cands[:0]
 	for _, t := range cands {
-		if len(out) == 0 || t > out[len(out)-1]+1e-9 {
+		if len(out) == 0 || tol.Gt(t, out[len(out)-1]) {
 			out = append(out, t)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // interferenceAt evaluates the interference term at offset t, applying
