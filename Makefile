@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the expanded verification
 # gate (build, gofmt, vet, tests, race detector); see check.sh.
 
-.PHONY: build test check lint fmt bench bench-pr3 bench-pr4 bench-pr5 profile conformance fuzz-smoke
+.PHONY: build test check lint vet-tool fmt bench bench-pr3 bench-pr4 bench-pr5 profile conformance fuzz-smoke
 
 build:
 	go build ./...
@@ -16,6 +16,11 @@ check:
 # afdx-lint CLI; expects a clean exit).
 lint:
 	go run ./cmd/afdx-lint -rules
+
+# Run the determinism-contract checker over the whole tree (the same
+# gate check.sh enforces; exit 1 on any unsuppressed DET finding).
+vet-tool:
+	go run ./cmd/afdx-vet ./...
 
 fmt:
 	gofmt -w .

@@ -74,6 +74,14 @@ type (
 	ValidationMode = iafdx.ValidationMode
 )
 
+// SortPortIDs orders port identifiers by (From, To), the canonical
+// iteration order for per-port results gathered from a map.
+func SortPortIDs(ids []PortID) { iafdx.SortPortIDs(ids) }
+
+// SortPathIDs orders path identifiers by (VL, PathIdx), the canonical
+// iteration order for per-path results gathered from a map.
+func SortPathIDs(ids []PathID) { iafdx.SortPathIDs(ids) }
+
 // Validation modes.
 const (
 	// Strict enforces the full ARINC 664 contract (power-of-two BAGs,

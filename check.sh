@@ -5,18 +5,21 @@
 #   1. go build ./...        (tier-1: everything compiles)
 #   2. gofmt -l .            (formatting; any listed file fails the gate)
 #   3. go vet ./...          (static analysis of the Go code itself)
-#   4. go test ./...         (tier-1: the full test suite)
-#   5. go test -race ./...   (the suite again under the race detector)
-#   6. afdx-conformance      (short cross-engine differential campaign,
+#   4. afdx-vet ./...        (determinism contract: DET001..DET006 over
+#                             the whole tree; any unsuppressed finding
+#                             fails the gate)
+#   5. go test ./...         (tier-1: the full test suite)
+#   6. go test -race ./...   (the suite again under the race detector)
+#   7. afdx-conformance      (short cross-engine differential campaign,
 #                             deterministic seed, wall-time budgeted)
-#   7. incremental parity    (a second campaign on a different seed:
+#   8. incremental parity    (a second campaign on a different seed:
 #                             every configuration replays a delta
 #                             sequence through a what-if session and
 #                             requires bit-identity with cold runs)
-#   8. traced conformance    (same campaign with metrics + tracing on:
+#   9. traced conformance    (same campaign with metrics + tracing on:
 #                             verdicts must be identical — observability
 #                             never participates in the computation)
-#   9. fuzz smoke            (each native fuzz target for a few seconds)
+#  10. fuzz smoke            (each native fuzz target for a few seconds)
 #
 # Usage: ./check.sh        (or: make check)
 set -eu
@@ -35,6 +38,19 @@ fi
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== afdx-vet ./... (determinism contract)"
+# The detcheck suite gates the source tree on the determinism contract
+# (DET001..DET006): float accumulation over map ranges, wall clocks in
+# engines, unsorted key slices, raw tolerance literals, per-item counter
+# increments in parallel fan-outs, and unpolled unbounded loops. Only
+# findings carrying a justified //detcheck:allow directive pass.
+if ! go run ./cmd/afdx-vet ./...; then
+	echo "check.sh: afdx-vet found determinism-contract violations." >&2
+	echo "  Fix the reported sites, or suppress a provably order-independent" >&2
+	echo "  one with '//detcheck:allow DET###: <justification>' on the line above." >&2
+	exit 1
+fi
 
 echo "== go test ./..."
 go test ./...

@@ -22,7 +22,7 @@ var (
 	cliOnce  sync.Once
 	cliDir   string
 	cliErr   error
-	cliTools = []string{"afdx-gen", "afdx-lint", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact", "afdx-conformance", "afdx-benchjson"}
+	cliTools = []string{"afdx-gen", "afdx-lint", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact", "afdx-conformance", "afdx-benchjson", "afdx-vet"}
 )
 
 // buildCLIs compiles every command once per test binary invocation.
@@ -379,6 +379,180 @@ func TestCLIConformanceJSONStdoutPure(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "violation(s)") {
 		t.Errorf("human summary missing from stderr:\n%s", stderr.String())
+	}
+}
+
+// vetScratchModule lays out a throwaway module named afdx (so the
+// detcheck path classification applies) holding one engine package with
+// a seeded determinism bug of each requested flavour, plus the tol
+// package the DET004 suggested fix resolves against.
+func vetScratchModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module afdx\n\ngo 1.22\n",
+		"internal/core/tol/tol.go": "// Package tol holds the shared comparison tolerances.\n" +
+			"package tol\n\n// EpsRel is the relative comparison tolerance.\nconst EpsRel = 1e-9\n",
+		"internal/netcalc/bad.go": `package netcalc
+
+import "afdx/internal/core/tol"
+
+// sumDelays accumulates float map values in randomized iteration order:
+// the seeded DET001 violation the CLI gate must catch.
+func sumDelays(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// closeEnough compares against a raw tolerance literal (DET004, with a
+// suggested fix to tol.EpsRel).
+func closeEnough(a, b float64) bool { return a <= b+1e-9 }
+
+// withinTol keeps the tol import live so the applied fix type-checks.
+func withinTol(x float64) bool { return x < tol.EpsRel }
+`,
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestCLIVetRulesAndCleanTree drives afdx-vet against the repository
+// itself: the rule listing names every DET code and a vetted engine
+// package exits 0.
+func TestCLIVetRulesAndCleanTree(t *testing.T) {
+	dir := buildCLIs(t)
+	rules := runCLI(t, dir, "afdx-vet", "-rules")
+	for _, code := range []string{"DET001", "DET002", "DET003", "DET004", "DET005", "DET006"} {
+		if !strings.Contains(rules, code) {
+			t.Errorf("rule listing missing %q:\n%s", code, rules)
+		}
+	}
+	out := runCLI(t, dir, "afdx-vet", "./internal/minplus", "./internal/core/...")
+	if !strings.Contains(out, "0 finding(s)") {
+		t.Errorf("vetted packages should be clean:\n%s", out)
+	}
+}
+
+// TestCLIVetCatchesSeededBug pins the gate's purpose: a deliberately
+// planted DET001/DET004 pair in an engine package exits 1 and is named
+// in the text report; -json and -sarif keep stdout machine-pure.
+func TestCLIVetCatchesSeededBug(t *testing.T) {
+	dir := buildCLIs(t)
+	scratch := vetScratchModule(t)
+	cmd := exec.Command(filepath.Join(dir, "afdx-vet"), "./...")
+	cmd.Dir = scratch
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("seeded-bug module: exit %d, want 1\n%s", code, out)
+	}
+	for _, frag := range []string{"DET001", "DET004", "internal/netcalc/bad.go"} {
+		if !strings.Contains(string(out), frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+
+	cmd = exec.Command(filepath.Join(dir, "afdx-vet"), "-json", "./...")
+	cmd.Dir = scratch
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	_ = cmd.Run()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("-json on seeded bugs: exit %d, want 1\n%s", code, stderr.String())
+	}
+	var rep struct {
+		Findings []struct {
+			ID  string `json:"id"`
+			Fix *struct {
+				Old string `json:"old"`
+				New string `json:"new"`
+			} `json:"fix,omitempty"`
+		} `json:"findings"`
+		Active int `json:"active"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\nstdout:\n%.600s", err, stdout.String())
+	}
+	if rep.Active != 2 {
+		t.Errorf("active findings = %d, want 2 (DET001 + DET004)", rep.Active)
+	}
+	var hasFix bool
+	for _, f := range rep.Findings {
+		if f.ID == "DET004" && f.Fix != nil && f.Fix.New == "tol.EpsRel" {
+			hasFix = true
+		}
+	}
+	if !hasFix {
+		t.Errorf("DET004 finding carries no tol.EpsRel suggested fix: %+v", rep.Findings)
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("human summary missing from stderr:\n%s", stderr.String())
+	}
+
+	cmd = exec.Command(filepath.Join(dir, "afdx-vet"), "-sarif", "./...")
+	cmd.Dir = scratch
+	stdout.Reset()
+	stderr.Reset()
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	_ = cmd.Run()
+	var sarif struct {
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &sarif); err != nil || sarif.Version != "2.1.0" {
+		t.Errorf("stdout is not pure SARIF 2.1.0 (err %v):\n%.400s", err, stdout.String())
+	}
+}
+
+// TestCLIVetFixRewritesTolerance drives -fix end to end: the DET004
+// literal is rewritten to tol.EpsRel, the re-analysis still reports the
+// untouched DET001, and a second -fix pass is idempotent.
+func TestCLIVetFixRewritesTolerance(t *testing.T) {
+	dir := buildCLIs(t)
+	scratch := vetScratchModule(t)
+	cmd := exec.Command(filepath.Join(dir, "afdx-vet"), "-fix", "./...")
+	cmd.Dir = scratch
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("-fix run: exit %d, want 1 (DET001 has no auto-fix)\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "applied 1 suggested fix") {
+		t.Errorf("missing fix-application notice:\n%s", out)
+	}
+	src, err := os.ReadFile(filepath.Join(scratch, "internal/netcalc/bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "a <= b+tol.EpsRel") {
+		t.Errorf("DET004 literal not rewritten:\n%s", src)
+	}
+	if strings.Contains(string(out), "DET004") {
+		t.Errorf("re-analysis after the fix still reports DET004:\n%s", out)
+	}
+}
+
+// TestCLIVetUsageErrors pins exit 2 for flag and load failures.
+func TestCLIVetUsageErrors(t *testing.T) {
+	dir := buildCLIs(t)
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-json", "-sarif", "./..."},
+		{"./no/such/package"},
+	} {
+		cmd := exec.Command(filepath.Join(dir, "afdx-vet"), args...)
+		out, _ := cmd.CombinedOutput()
+		if code := cmd.ProcessState.ExitCode(); code != 2 {
+			t.Errorf("afdx-vet %v: exit %d, want 2\n%s", args, code, out)
+		}
 	}
 }
 

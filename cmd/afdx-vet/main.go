@@ -1,0 +1,123 @@
+// Command afdx-vet statically enforces the repository's determinism
+// contract: it type-checks the Go source tree and reports coded
+// findings (DET001..DET006) wherever an engine package iterates a map
+// into a floating-point accumulation, reads a non-deterministic source,
+// emits unsorted map keys, compares against an inline tolerance
+// literal, mutates shared counters per work item inside a parallel
+// fan-out, or spins an unbounded loop without polling its context.
+//
+// Where afdx-lint analyses configuration *files*, afdx-vet analyses the
+// *source code* that processes them: same diag rendering, same CI
+// formats, one contract.
+//
+// Usage:
+//
+//	afdx-vet                       # vet ./... from the module root
+//	afdx-vet ./internal/netcalc    # vet specific package patterns
+//	afdx-vet -json ./...           # machine-readable findings on stdout
+//	afdx-vet -sarif ./... > v.sarif
+//	afdx-vet -fix ./...            # apply suggested fixes (DET004)
+//	afdx-vet -rules                # list the analyzers and exit
+//
+// Exit code: 0 when the tree is clean (suppressed findings do not
+// gate), 1 when active findings remain, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"afdx/internal/detcheck"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("afdx-vet: ")
+	var (
+		asJSON  = flag.Bool("json", false, "write the findings as JSON on stdout (summary goes to stderr)")
+		asSARIF = flag.Bool("sarif", false, "write the findings as SARIF 2.1.0 on stdout (summary goes to stderr)")
+		fix     = flag.Bool("fix", false, "apply suggested fixes in place, then re-report the remainder")
+		rules   = flag.Bool("rules", false, "list the registered analyzers with their codes and exit")
+	)
+	flag.Parse()
+
+	if *rules {
+		for _, a := range detcheck.Analyzers() {
+			fmt.Printf("%s %-17s %s\n", a.ID, a.Name, firstLine(a.Doc))
+		}
+		os.Exit(0)
+	}
+	if *asJSON && *asSARIF {
+		log.Print("-json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := detcheck.ModuleRoot(".")
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	rep, err := detcheck.Run(root, patterns...)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	if *fix {
+		applied, err := rep.ApplyFixes(root)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "afdx-vet: applied %d suggested fix(es); re-analysing\n", applied)
+			rep, err = detcheck.Run(root, patterns...)
+			if err != nil {
+				log.Print(err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	switch {
+	case *asJSON:
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		summarize(os.Stderr, rep)
+	case *asSARIF:
+		if err := rep.WriteSARIF(os.Stdout); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		summarize(os.Stderr, rep)
+	default:
+		if err := rep.WriteText(os.Stdout); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+	}
+	os.Exit(rep.ExitCode())
+}
+
+// summarize writes the one-line verdict to w so that -json/-sarif keep
+// stdout pure machine output.
+func summarize(w *os.File, rep *detcheck.Report) {
+	fmt.Fprintf(w, "afdx-vet: %d package(s), %d active finding(s), %d suppressed\n",
+		rep.Packages, rep.Active, rep.Suppressed)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -70,9 +70,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ids := make([]afdx.PortID, 0, len(nc.Ports))
+	for id := range nc.Ports {
+		ids = append(ids, id)
+	}
+	afdx.SortPortIDs(ids)
 	maxPort, maxBits := afdx.PortID{}, 0.0
-	for id, p := range nc.Ports {
-		if p.BacklogBits > maxBits {
+	for _, id := range ids {
+		if p := nc.Ports[id]; p.BacklogBits > maxBits {
 			maxPort, maxBits = id, p.BacklogBits
 		}
 	}

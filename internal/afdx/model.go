@@ -181,6 +181,18 @@ type PathID struct {
 
 func (p PathID) String() string { return fmt.Sprintf("%s/%d", p.VL, p.PathIdx) }
 
+// SortPathIDs orders path identifiers by (VL, PathIdx) — the canonical
+// iteration order whenever per-path results gathered from a map must be
+// accumulated or emitted deterministically (DET001/DET003).
+func SortPathIDs(ids []PathID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].VL != ids[j].VL {
+			return ids[i].VL < ids[j].VL
+		}
+		return ids[i].PathIdx < ids[j].PathIdx
+	})
+}
+
 // AllPaths enumerates every (VL, path) pair of the network, in
 // deterministic order.
 func (n *Network) AllPaths() []PathID {

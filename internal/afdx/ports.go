@@ -325,6 +325,11 @@ func comparePortIDs(a, b PortID) int {
 
 func sortPortIDs(ids []PortID) { slices.SortFunc(ids, comparePortIDs) }
 
+// SortPortIDs orders port identifiers by (From, To) — the canonical
+// iteration order whenever port results gathered from a map must be
+// consumed deterministically (DET001/DET003).
+func SortPortIDs(ids []PortID) { sortPortIDs(ids) }
+
 // mergePortIDs merges two sorted slices into one sorted slice.
 func mergePortIDs(a, b []PortID) []PortID {
 	out := make([]PortID, 0, len(a)+len(b))

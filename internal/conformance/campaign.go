@@ -185,8 +185,6 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 			v.GenError = err.Error()
 			return nil
 		}
-		checked.Inc()
-		violations.Add(int64(len(vs)))
 		v.Violations = vs
 		if len(vs) > 0 && opts.CorpusDir != "" {
 			v.ShrunkFile, v.ShrunkVLs = shrinkToCorpus(cctx, oracle, net, vs, opts)
@@ -198,6 +196,7 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 	}
 
 	rep := &Report{N: opts.N, Seed: opts.Seed, Verdicts: verdicts}
+	fullyChecked := int64(0)
 	for _, v := range verdicts {
 		switch {
 		case v.Skipped:
@@ -205,11 +204,20 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 		default:
 			rep.Checked++
 		}
+		if !v.Skipped && v.GenError == "" {
+			fullyChecked++
+		}
 		if len(v.Violations) > 0 {
 			rep.Violating++
 			rep.NumViolations += len(v.Violations)
 		}
 	}
+	// Counters are flushed once, on the calling goroutine, after the
+	// pool returns (the batch-then-flush pattern DET005 enforces); the
+	// counts stay BestEffort only because a time budget makes the set of
+	// checked configurations scheduling-dependent.
+	checked.Add(fullyChecked)
+	violations.Add(int64(rep.NumViolations))
 	rep.ElapsedSec = time.Since(start).Seconds()
 	if rep.ElapsedSec > 0 {
 		rep.ConfigsPerSec = float64(rep.Checked) / rep.ElapsedSec

@@ -1,0 +1,69 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"afdx/internal/afdx"
+	"afdx/internal/obs"
+)
+
+// TestDiffPathDelaysDeterministicOrder guards the sorted-key walk in
+// diffPathDelays: the violation list must come out in canonical
+// (VL, PathIdx) order on every call, never in map iteration order.
+func TestDiffPathDelaysDeterministicOrder(t *testing.T) {
+	a := map[afdx.PathID]float64{}
+	b := map[afdx.PathID]float64{}
+	for i := 0; i < 32; i++ {
+		pid := afdx.PathID{VL: fmt.Sprintf("v%02d", i), PathIdx: i % 3}
+		a[pid] = float64(i)
+		b[pid] = float64(i)
+		if i%2 == 0 {
+			b[pid] = float64(i) + 0.5 // every even path differs
+		}
+	}
+	first := diffPathDelays(InvRepeatability, "netcalc", a, b)
+	if len(first) != 16 {
+		t.Fatalf("got %d violations, want 16", len(first))
+	}
+	for i := 1; i < len(first); i++ {
+		p, q := first[i-1].Path, first[i].Path
+		if p.VL > q.VL || (p.VL == q.VL && p.PathIdx >= q.PathIdx) {
+			t.Fatalf("violations out of order at %d: %v before %v", i, p, q)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if vs := diffPathDelays(InvRepeatability, "netcalc", a, b); !reflect.DeepEqual(vs, first) {
+			t.Fatalf("call %d: violation list differs:\n got %v\nwant %v", i, vs, first)
+		}
+	}
+}
+
+// TestCampaignCountersMatchReport guards the batch-then-flush counter
+// pattern in RunCtx: the per-item Inc calls inside the worker pool were
+// replaced by a single post-pool flush, so the observed counters must
+// equal the report's own tallies exactly.
+func TestCampaignCountersMatchReport(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	rep, err := RunCtx(ctx, Options{N: 8, Seed: 5, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullyChecked := int64(0)
+	for _, v := range rep.Verdicts {
+		if !v.Skipped && v.GenError == "" {
+			fullyChecked++
+		}
+	}
+	checked := reg.Counter("conformance.configs_checked", obs.BestEffort, "").Value()
+	if checked != fullyChecked {
+		t.Fatalf("configs_checked = %d, want %d (fully checked verdicts)", checked, fullyChecked)
+	}
+	viol := reg.Counter("conformance.violations", obs.BestEffort, "").Value()
+	if viol != int64(rep.NumViolations) {
+		t.Fatalf("violations counter = %d, want %d (report tally)", viol, rep.NumViolations)
+	}
+}

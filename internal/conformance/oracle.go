@@ -384,11 +384,25 @@ func (o *Oracle) checkDeterminism(ctx context.Context, pg *afdx.PortGraph, ncRef
 	return vs
 }
 
+// sortedPathKeys returns a per-path result map's keys in (VL, PathIdx)
+// order. Every invariant check below iterates this slice rather than
+// the map, so the violation lists are built in deterministic order at
+// the source instead of relying on the final sort in Check (DET003).
+func sortedPathKeys[V any](m map[afdx.PathID]V) []afdx.PathID {
+	ids := make([]afdx.PathID, 0, len(m))
+	for pid := range m {
+		ids = append(ids, pid)
+	}
+	afdx.SortPathIDs(ids)
+	return ids
+}
+
 // diffPathDelays reports every path whose two delay values are not
 // bit-identical.
 func diffPathDelays(inv Invariant, engine string, a, b map[afdx.PathID]float64) []Violation {
 	var vs []Violation
-	for pid, da := range a {
+	for _, pid := range sortedPathKeys(a) {
+		da := a[pid]
 		if db, ok := b[pid]; !ok || da != db {
 			vs = append(vs, Violation{inv, pid, db, da,
 				fmt.Sprintf("%s results differ across runs", engine)})
@@ -413,7 +427,8 @@ func (o *Oracle) checkBehaviour(ctx context.Context, pg *afdx.PortGraph, ncG *ne
 		return math.Min(ncG.PathDelays[pid], trU.PathDelays[pid])
 	}
 	checkSim := func(r *sim.Result, label string) {
-		for pid, st := range r.Paths {
+		for _, pid := range sortedPathKeys(r.Paths) {
+			st := r.Paths[pid]
 			if !leq(st.MaxDelayUs, ncG.PathDelays[pid]) {
 				vs = append(vs, Violation{InvSimVsNC, pid, st.MaxDelayUs, ncG.PathDelays[pid], label})
 			}
@@ -471,13 +486,13 @@ func (o *Oracle) checkBehaviour(ctx context.Context, pg *afdx.PortGraph, ncG *ne
 		// The grid overflowing MaxCombos is a budget miss, not a bug.
 		return vs
 	}
-	for pid, d := range ex.Delays {
-		if !leq(d, bound(pid)) {
+	for _, pid := range sortedPathKeys(ex.Delays) {
+		if d := ex.Delays[pid]; !leq(d, bound(pid)) {
 			vs = append(vs, Violation{InvExactVsBounds, pid, d, bound(pid), "exact search beat the analytic bounds"})
 		}
 	}
-	for pid, st := range pinnedRes.Paths {
-		if !leq(st.MaxDelayUs, ex.Delays[pid]) {
+	for _, pid := range sortedPathKeys(pinnedRes.Paths) {
+		if st := pinnedRes.Paths[pid]; !leq(st.MaxDelayUs, ex.Delays[pid]) {
 			vs = append(vs, Violation{InvSimVsExact, pid, st.MaxDelayUs, ex.Delays[pid], "pinned simulation beat the exact search"})
 		}
 	}
@@ -516,14 +531,14 @@ func (o *Oracle) checkMetamorphic(ctx context.Context, net *afdx.Network, ncG *n
 		if err != nil {
 			return fmt.Errorf("conformance: mutant trajectory (%s): %w", what, err)
 		}
-		for pid, d := range nc.PathDelays {
-			if base, ok := ncG.PathDelays[pid]; ok && !leq(d, base) {
-				vs = append(vs, Violation{inv, pid, d, base, "netcalc bound grew after " + what})
+		for _, pid := range sortedPathKeys(nc.PathDelays) {
+			if base, ok := ncG.PathDelays[pid]; ok && !leq(nc.PathDelays[pid], base) {
+				vs = append(vs, Violation{inv, pid, nc.PathDelays[pid], base, "netcalc bound grew after " + what})
 			}
 		}
-		for pid, d := range tr.PathDelays {
-			if base, ok := trU.PathDelays[pid]; ok && !leq(d, base) {
-				vs = append(vs, Violation{inv, pid, d, base, "trajectory bound grew after " + what})
+		for _, pid := range sortedPathKeys(tr.PathDelays) {
+			if base, ok := trU.PathDelays[pid]; ok && !leq(tr.PathDelays[pid], base) {
+				vs = append(vs, Violation{inv, pid, tr.PathDelays[pid], base, "trajectory bound grew after " + what})
 			}
 		}
 		return nil

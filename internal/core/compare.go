@@ -110,6 +110,20 @@ func Combine(pg *afdx.PortGraph, nc *netcalc.Result, tr *trajectory.Result) (*Co
 	return c, nil
 }
 
+// sortedPathIDs returns PerPath's keys in (VL, PathIdx) order. Every
+// aggregate below iterates this slice rather than the map: the mean
+// accumulations are floating-point sums, whose rounding — and hence the
+// published Table I / Figure 5 / Figure 6 numbers — would otherwise
+// depend on Go's randomized map iteration order (DET001).
+func (c *Comparison) sortedPathIDs() []afdx.PathID {
+	ids := make([]afdx.PathID, 0, len(c.PerPath))
+	for pid := range c.PerPath {
+		ids = append(ids, pid)
+	}
+	afdx.SortPathIDs(ids)
+	return ids
+}
+
 // Summary reproduces the structure of the paper's Table I: mean, maximum
 // and minimum benefit of the Trajectory approach over Network Calculus,
 // and of the combined ("Best") approach over Network Calculus, plus the
@@ -134,7 +148,8 @@ func (c *Comparison) Summary() Summary {
 		MinBestPct:    math.Inf(1),
 	}
 	wins := 0
-	for _, pc := range c.PerPath {
+	for _, pid := range c.sortedPathIDs() {
+		pc := c.PerPath[pid]
 		s.NumPaths++
 		s.MeanBenefitPct += pc.BenefitPct
 		s.MeanBestPct += pc.BestBenefitPct
@@ -170,7 +185,8 @@ func (c *Comparison) ByBAG() []BAGBenefit {
 		sum float64
 	}
 	m := map[float64]*acc{}
-	for pid, pc := range c.PerPath {
+	for _, pid := range c.sortedPathIDs() {
+		pc := c.PerPath[pid]
 		vl := c.Net.VL(pid.VL)
 		a := m[vl.BAGMs]
 		if a == nil {
@@ -206,7 +222,8 @@ func (c *Comparison) BySmax() []SmaxShare {
 		sum       float64
 	}
 	m := map[int]*acc{}
-	for pid, pc := range c.PerPath {
+	for _, pid := range c.sortedPathIDs() {
+		pc := c.PerPath[pid]
 		vl := c.Net.VL(pid.VL)
 		a := m[vl.SMaxBytes]
 		if a == nil {

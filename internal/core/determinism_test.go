@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"afdx/internal/afdx"
+)
+
+// syntheticComparison builds a Comparison whose per-path benefit values
+// span several orders of magnitude, so that the floating-point mean
+// accumulations in Summary/ByBAG/BySmax are sensitive to summation
+// order: summing them in two different orders yields different
+// roundings. Repeated aggregate calls are bit-identical only if the
+// iteration order over PerPath is pinned (the DET001 contract).
+func syntheticComparison() *Comparison {
+	net := &afdx.Network{Name: "det-synth"}
+	c := &Comparison{Net: net, PerPath: map[afdx.PathID]PathComparison{}}
+	bags := []float64{1, 2, 4, 8}
+	smaxes := []int{100, 500, 1000, 1500}
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("v%02d", i)
+		vl := &afdx.VirtualLink{
+			ID:        id,
+			Source:    "e1",
+			BAGMs:     bags[i%len(bags)],
+			SMaxBytes: smaxes[i%len(smaxes)],
+			SMinBytes: 64,
+			Paths:     [][]string{{"e1", "s1", "e2"}},
+		}
+		net.VLs = append(net.VLs, vl)
+		// Mixed magnitudes: 1e-7 .. 1e+2, alternating signs, so the
+		// partial sums round differently under different orders.
+		benefit := float64(i%9-4) * pow10(i%7-5)
+		nc := 100.0 + float64(i)
+		tr := nc * (1 - benefit/100)
+		best := tr
+		if nc < tr {
+			best = nc
+		}
+		c.PerPath[afdx.PathID{VL: id, PathIdx: 0}] = PathComparison{
+			NCUs:           nc,
+			TrajectoryUs:   tr,
+			BestUs:         best,
+			BenefitPct:     benefit,
+			BestBenefitPct: (nc - best) / nc * 100,
+			MinUs:          40,
+			JitterUs:       best - 40,
+		}
+	}
+	return c
+}
+
+func pow10(e int) float64 {
+	v := 1.0
+	for ; e > 0; e-- {
+		v *= 10
+	}
+	for ; e < 0; e++ {
+		v /= 10
+	}
+	return v
+}
+
+// TestAggregatesBitIdenticalAcrossCalls guards the fix for the
+// map-iteration rounding bug in the Table I / Figure 5 / Figure 6
+// aggregates: every call must reproduce the exact same float64 bits,
+// not merely values within a tolerance.
+func TestAggregatesBitIdenticalAcrossCalls(t *testing.T) {
+	c := syntheticComparison()
+	s0 := c.Summary()
+	bag0 := c.ByBAG()
+	smax0 := c.BySmax()
+	for i := 1; i < 50; i++ {
+		if s := c.Summary(); s != s0 {
+			t.Fatalf("Summary() call %d differs:\n got %+v\nwant %+v", i, s, s0)
+		}
+		if b := c.ByBAG(); !reflect.DeepEqual(b, bag0) {
+			t.Fatalf("ByBAG() call %d differs:\n got %+v\nwant %+v", i, b, bag0)
+		}
+		if s := c.BySmax(); !reflect.DeepEqual(s, smax0) {
+			t.Fatalf("BySmax() call %d differs:\n got %+v\nwant %+v", i, s, smax0)
+		}
+	}
+}
+
+// TestSortedPathIDsCanonicalOrder pins the iteration order the
+// aggregates rely on: ascending (VL, PathIdx).
+func TestSortedPathIDsCanonicalOrder(t *testing.T) {
+	c := syntheticComparison()
+	ids := c.sortedPathIDs()
+	if len(ids) != len(c.PerPath) {
+		t.Fatalf("sortedPathIDs returned %d ids, want %d", len(ids), len(c.PerPath))
+	}
+	for i := 1; i < len(ids); i++ {
+		a, b := ids[i-1], ids[i]
+		if a.VL > b.VL || (a.VL == b.VL && a.PathIdx >= b.PathIdx) {
+			t.Fatalf("ids out of order at %d: %v before %v", i, a, b)
+		}
+	}
+}

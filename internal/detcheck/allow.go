@@ -1,0 +1,139 @@
+package detcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An allowDirective is one parsed //detcheck:allow comment: a code to
+// suppress, the mandatory justification, and the file/line it sits on.
+// A directive covers findings of its code on its own line and on the
+// line directly below it (the lead-comment position).
+type allowDirective struct {
+	id            string
+	justification string
+	file          string
+	line          int
+	used          bool
+}
+
+const allowPrefix = "//detcheck:allow "
+const classifyPrefix = "//detcheck:classify "
+
+// parseDirectives scans a file's comments for //detcheck: directives.
+// Malformed allow directives (unknown code, missing justification) are
+// reported as DET000 meta findings; well-formed ones are returned for
+// suppression matching.
+func parseDirectives(fset *token.FileSet, f *ast.File, meta *[]Finding) []*allowDirective {
+	var out []*allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, "//detcheck:") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if strings.HasPrefix(text, classifyPrefix) {
+				// Classification overrides are a test-harness affordance;
+				// the production loader classifies by import path only, so
+				// the directive is valid but inert here.
+				if _, ok := ParseClass(strings.TrimSpace(strings.TrimPrefix(text, classifyPrefix))); !ok {
+					*meta = append(*meta, metaFinding(pos,
+						"unknown class in directive %q (want engine, support, tolerance or tool)", text))
+				}
+				continue
+			}
+			if !strings.HasPrefix(text, allowPrefix) {
+				*meta = append(*meta, metaFinding(pos,
+					"unknown detcheck directive %q (want //detcheck:allow DET###: justification)", text))
+				continue
+			}
+			rest := strings.TrimPrefix(text, allowPrefix)
+			id, justification, ok := strings.Cut(rest, ":")
+			id = strings.TrimSpace(id)
+			justification = strings.TrimSpace(justification)
+			switch {
+			case !ok || justification == "":
+				*meta = append(*meta, metaFinding(pos,
+					"allow directive %q lacks a justification (want //detcheck:allow %s: why this site is deterministic)", text, id))
+			case AnalyzerByID(id) == nil:
+				*meta = append(*meta, metaFinding(pos,
+					"allow directive names unknown analyzer code %q", id))
+			default:
+				out = append(out, &allowDirective{
+					id:            id,
+					justification: justification,
+					file:          pos.Filename,
+					line:          pos.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func metaFinding(pos token.Position, format string, args ...any) Finding {
+	f := Finding{
+		ID:       CodeMeta,
+		Analyzer: "detcheck",
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Suggestion: "write //detcheck:allow DET###: <justification> on the offending line " +
+			"or the line directly above it",
+	}
+	f.Message = fmt.Sprintf(format, args...)
+	return f
+}
+
+// applyAllows marks findings matched by a directive as suppressed and
+// reports directives that matched nothing (a stale allow hides future
+// regressions, so it is itself a DET000 finding).
+func applyAllows(findings []Finding, directives []*allowDirective) []Finding {
+	for i := range findings {
+		f := &findings[i]
+		if f.ID == CodeMeta {
+			continue
+		}
+		for _, d := range directives {
+			if d.id != f.ID || d.file != f.File {
+				continue
+			}
+			if d.line == f.Line || d.line == f.Line-1 {
+				f.Suppressed = true
+				f.Justification = d.justification
+				d.used = true
+				break
+			}
+		}
+	}
+	for _, d := range directives {
+		if !d.used {
+			findings = append(findings, metaFinding(
+				token.Position{Filename: d.file, Line: d.line, Column: 1},
+				"allow directive for %s matches no finding (stale suppression — remove it)", d.id))
+		}
+	}
+	return findings
+}
+
+// classifyDirective returns the class named by a //detcheck:classify
+// directive in any of the files, if present. Only the test harness
+// honors it; see Load.
+func classifyDirective(files []*ast.File) (PkgClass, bool) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, classifyPrefix) {
+					if cl, ok := ParseClass(strings.TrimSpace(strings.TrimPrefix(c.Text, classifyPrefix))); ok {
+						return cl, true
+					}
+				}
+			}
+		}
+	}
+	return ClassSupport, false
+}

@@ -1,0 +1,133 @@
+package detcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Each analyzer is exercised against its golden corpus under
+// testdata/src/<name>: RunTest matches unsuppressed findings one-to-one
+// against the `// want` comments, and the returned report lets the
+// tests pin the suppression behaviour (every corpus carries exactly one
+// justified //detcheck:allow case).
+
+func runCorpus(t *testing.T, id string) *Report {
+	t.Helper()
+	a := AnalyzerByID(id)
+	if a == nil {
+		t.Fatalf("analyzer %s is not registered", id)
+	}
+	rep := RunTest(t, Testdata(strings.ToLower(id[:3])+id[3:]), a)
+	if rep.Suppressed != 1 {
+		t.Errorf("%s corpus: %d suppressed findings, want exactly 1 (the allow case)", id, rep.Suppressed)
+	}
+	for _, f := range rep.Findings {
+		if f.Suppressed && f.Justification == "" {
+			t.Errorf("%s: suppressed finding at %s:%d lost its justification", id, f.File, f.Line)
+		}
+	}
+	return rep
+}
+
+func TestDET001FloatMapRange(t *testing.T)    { runCorpus(t, "DET001") }
+func TestDET002NondetSource(t *testing.T)     { runCorpus(t, "DET002") }
+func TestDET003UnsortedKeys(t *testing.T)     { runCorpus(t, "DET003") }
+func TestDET005DetCounterFanout(t *testing.T) { runCorpus(t, "DET005") }
+func TestDET006CtxLoop(t *testing.T)          { runCorpus(t, "DET006") }
+
+// TestDET004TolLiteral additionally pins the mechanical fix: every
+// active 1e-9 literal carries a tol.EpsRel rewrite.
+func TestDET004TolLiteral(t *testing.T) {
+	rep := runCorpus(t, "DET004")
+	fixes := 0
+	for _, f := range rep.Findings {
+		if f.Suppressed || f.Fix == nil {
+			continue
+		}
+		fixes++
+		if f.Fix.Old != "1e-9" || f.Fix.New != "tol.EpsRel" {
+			t.Errorf("unexpected fix %q -> %q, want 1e-9 -> tol.EpsRel", f.Fix.Old, f.Fix.New)
+		}
+	}
+	if fixes != 2 {
+		t.Errorf("%d active findings carry fixes, want 2 (the two exact-EpsRel literals)", fixes)
+	}
+}
+
+// TestMetaDirectives loads the deliberately defective directive corpus
+// and asserts every defect is reported under the reserved DET000 code.
+func TestMetaDirectives(t *testing.T) {
+	pkg, err := LoadDir(Testdata("meta"))
+	if err != nil {
+		t.Fatalf("loading meta corpus: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("meta corpus does not type-check: %v", pkg.TypeErrors[0])
+	}
+	findings := RunPackage(pkg)
+	wantSubstrings := []string{
+		"lacks a justification",
+		`unknown analyzer code "DET999"`,
+		"unknown detcheck directive",
+		"matches no finding",
+		"unknown class in directive",
+	}
+	if len(findings) != len(wantSubstrings) {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("meta corpus produced %d findings, want %d", len(findings), len(wantSubstrings))
+	}
+	for _, f := range findings {
+		if f.ID != CodeMeta {
+			t.Errorf("meta corpus finding carries code %s, want %s: %s", f.ID, CodeMeta, f)
+		}
+		if f.Suppressed {
+			t.Errorf("DET000 finding must not be suppressible: %s", f)
+		}
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no DET000 finding mentions %q", want)
+		}
+	}
+}
+
+// TestApplyFixes runs DET004 over a scratch copy of an offending file
+// and checks the mechanical rewrite lands byte-exactly.
+func TestApplyFixes(t *testing.T) {
+	dir := t.TempDir()
+	src := "//detcheck:classify engine\npackage fixme\n\nfunc closeEnough(a, b float64) bool {\n\treturn a <= b+1e-9\n}\n"
+	path := filepath.Join(dir, "fixme.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading scratch package: %v", err)
+	}
+	rep := &Report{Findings: runPackage(pkg, []*Analyzer{AnalyzerByID(CodeTolLiteral)})}
+	applied, err := rep.ApplyFixes(dir)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d fixes, want 1", applied)
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "return a <= b+tol.EpsRel"; !strings.Contains(string(fixed), want) {
+		t.Errorf("fixed file does not contain %q:\n%s", want, fixed)
+	}
+}

@@ -1,0 +1,195 @@
+package detcheck
+
+import (
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file is the golden-test harness in the shape of
+// golang.org/x/tools/go/analysis/analysistest: a testdata package whose
+// offending lines carry `// want "regexp"` comments is loaded,
+// type-checked, and analysed, and the findings are matched one-to-one
+// against the expectations. It lives in the main package (not _test.go)
+// so the afdx-vet CLI tests can reuse LoadDir.
+
+// wantRe extracts the expectation regexps from a trailing want comment.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// wantArgRe splits the quoted regexps of one want comment.
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// expectation is one `// want` entry: a file/line plus a message regexp.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// LoadDir loads every .go file directly under dir as one ad-hoc
+// package, type-checked with the source importer (stdlib and
+// module-internal imports both resolve offline). The package class
+// honors a //detcheck:classify directive in the sources, defaulting to
+// Classify(base name) — testdata packages use the directive to opt into
+// the engine rule set.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{
+		Path: filepath.Base(dir),
+		Dir:  dir,
+		Fset: fset,
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("detcheck: parsing %s: %v", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("detcheck: no Go files in %s", dir)
+	}
+	pkg.Class = Classify(pkg.Path)
+	if cl, ok := classifyDirective(pkg.Files); ok {
+		pkg.Class = cl
+	}
+	pkg.Info = newInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// TestingT is the subset of *testing.T the harness needs.
+type TestingT interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunTest loads the testdata package under dir, runs exactly one
+// analyzer over it, and matches the findings against the `// want`
+// comments: every unsuppressed finding must be wanted, every want must
+// be found. Suppressed findings must NOT be wanted (suppression is the
+// point of the allow-case files); the returned report lets callers
+// assert on suppression counts and fixes.
+func RunTest(t TestingT, dir string, a *Analyzer) *Report {
+	t.Helper()
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("testdata package %s does not type-check: %v", dir, pkg.TypeErrors[0])
+	}
+	if !a.applies(pkg.Class) {
+		t.Fatalf("analyzer %s does not apply to class %s — fix the //detcheck:classify directive in %s",
+			a.ID, pkg.Class, dir)
+	}
+	findings := runPackage(pkg, []*Analyzer{a})
+	rep := &Report{Findings: findings, Packages: 1}
+	for _, f := range findings {
+		if f.Suppressed {
+			rep.Suppressed++
+		} else {
+			rep.Active++
+		}
+	}
+
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		rendered := f.ID + " " + f.Message
+		match := false
+		for _, w := range wants {
+			if w.matched || w.file != f.File || w.line != f.Line {
+				continue
+			}
+			if w.re.MatchString(rendered) {
+				w.matched = true
+				match = true
+				break
+			}
+		}
+		if !match {
+			t.Errorf("%s:%d: unexpected finding: %s", f.File, f.Line, rendered)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return rep
+}
+
+// collectWants scans the package comments for `// want "re"` entries.
+func collectWants(t TestingT, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, a := range args {
+					text := a[1]
+					if text == "" {
+						text = a[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// Testdata returns the analyzer's golden corpus directory:
+// testdata/src/<name> under the detcheck package directory (callers run
+// with the package directory as working directory, the `go test`
+// contract).
+func Testdata(name string) string {
+	return filepath.Join("testdata", "src", name)
+}

@@ -1,0 +1,223 @@
+package detcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DET001 floatmaprange: floating-point accumulation (or a running
+// min/max) into loop-external state inside a `for range` over a map.
+// Go randomizes map iteration order, so the rounding of the
+// accumulation — and therefore the computed bound — differs between
+// runs. This is exactly the PR 2 bug in netcalc.analyzePort: per-level
+// envelope curves were summed in map order and the last bits of the
+// delay bound wobbled across processes.
+//
+// Writes indexed by the range key itself (out[k] = ... inside
+// `for k, v := range m`) are exempt: each key is visited exactly once,
+// so such updates are per-key and order-independent. Integer
+// accumulation is exempt too: integer addition commutes exactly (this
+// is what makes Deterministic-class counters sound).
+func init() {
+	Register(&Analyzer{
+		ID:   CodeFloatMapRange,
+		Name: "floatmaprange",
+		Doc: "forbids floating-point accumulation or running min/max into loop-external " +
+			"state inside a `for range` over a map: map iteration order is randomized, so " +
+			"the float rounding (and hence the result) differs between runs. Iterate a " +
+			"sorted key slice instead.",
+		Classes: []PkgClass{ClassEngine, ClassSupport},
+		Run:     runFloatMapRange,
+	})
+}
+
+const floatMapRangeFix = "collect the keys, sort them, and range over the sorted slice " +
+	"(see netcalc.analyzePort's sorted levels for the canonical pattern)"
+
+func runFloatMapRange(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil || !isMap(t) {
+				return true
+			}
+			checkMapRangeBody(pass, rng)
+			return true
+		})
+	}
+}
+
+// rangeVarObjects resolves the loop variables of a range statement.
+func rangeVarObjects(info *types.Info, rng *ast.RangeStmt) []types.Object {
+	var objs []types.Object
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	rangeVars := rangeVarObjects(pass.Info, rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if st != rng && isMap(orNil(pass.TypeOf(st.X))) {
+				return false // the nested map range reports its own findings
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, rangeVars, st)
+		}
+		return true
+	})
+}
+
+func orNil(t types.Type) types.Type {
+	if t == nil {
+		return types.Typ[types.Invalid]
+	}
+	return t
+}
+
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, rangeVars []types.Object, st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range st.Lhs {
+			if floatEscapes(pass, rng, rangeVars, lhs) {
+				pass.Reportf(st.Pos(), floatMapRangeFix,
+					"floating-point accumulation into %s inside a range over a map: "+
+						"iteration order is randomized, so the rounding differs between runs",
+					exprString(lhs))
+			}
+		}
+	case token.ASSIGN:
+		if len(st.Lhs) != len(st.Rhs) {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if !floatEscapes(pass, rng, rangeVars, lhs) {
+				continue
+			}
+			rhs := st.Rhs[i]
+			// x = f(x, ...) / x = x + v: self-referential update — an
+			// accumulation (sum, min, max, product) in assignment form.
+			if lhsMentioned(pass, lhs, rhs) {
+				pass.Reportf(st.Pos(), floatMapRangeFix,
+					"self-referential float update of %s inside a range over a map "+
+						"(accumulation in assignment form): iteration order is randomized",
+					exprString(lhs))
+				continue
+			}
+			// if v > x { x = v }: the conditional min/max shape. The
+			// selected value is order-dependent on ties (and the pattern
+			// invites non-commutative refinements), so it is flagged with
+			// the rest of the class.
+			if cond := enclosingComparison(pass, rng, st); cond != nil && lhsMentioned(pass, lhs, cond) {
+				pass.Reportf(st.Pos(), floatMapRangeFix,
+					"conditional min/max of %s inside a range over a map: "+
+						"the winning element depends on randomized iteration order",
+					exprString(lhs))
+			}
+		}
+	}
+}
+
+// floatEscapes reports whether lhs is a float lvalue whose storage
+// outlives one loop iteration: an identifier declared outside the range
+// statement, a selector on outer state, or an index expression whose
+// index does not involve the range variables (per-range-key writes are
+// order-independent).
+func floatEscapes(pass *Pass, rng *ast.RangeStmt, rangeVars []types.Object, lhs ast.Expr) bool {
+	t := pass.TypeOf(lhs)
+	if t == nil || !isFloat(t) {
+		return false
+	}
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return declaredOutside(pass.Info, e, rng.Pos(), rng.End())
+	case *ast.IndexExpr:
+		return !mentionsAny(pass.Info, e.Index, rangeVars)
+	case *ast.SelectorExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// lhsMentioned reports whether expr mentions the object (or field
+// selection) written by lhs.
+func lhsMentioned(pass *Pass, lhs, expr ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := pass.Info.ObjectOf(l); obj != nil {
+			return mentionsObject(pass.Info, expr, obj)
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[l]; sel != nil {
+			found := false
+			ast.Inspect(expr, func(n ast.Node) bool {
+				if s, ok := n.(*ast.SelectorExpr); ok {
+					if other := pass.Info.Selections[s]; other != nil && other.Obj() == sel.Obj() {
+						found = true
+					}
+				}
+				return !found
+			})
+			return found
+		}
+	case *ast.IndexExpr:
+		// res[k] = max(res[k], v): match on the indexed object.
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				return mentionsObject(pass.Info, expr, obj)
+			}
+		}
+	}
+	return false
+}
+
+// enclosingComparison returns the condition of the innermost if
+// statement between the range body and the assignment when that
+// condition is a float comparison, else nil.
+func enclosingComparison(pass *Pass, rng *ast.RangeStmt, target *ast.AssignStmt) ast.Expr {
+	var cond ast.Expr
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		ifSt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !containsNode(ifSt.Body, target) {
+			return true
+		}
+		if cmp, ok := ast.Unparen(ifSt.Cond).(*ast.BinaryExpr); ok {
+			switch cmp.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if isFloat(orNil(pass.TypeOf(cmp.X))) {
+					cond = ifSt.Cond
+				}
+			}
+		}
+		return true
+	})
+	return cond
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,153 @@
+package detcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DET003 unsortedkeys: map keys (or values) collected into a slice that
+// leaves the collecting function without an intervening sort. The slice
+// inherits the randomized iteration order; once it flows into a result,
+// a hash, a signature, or a caller, every downstream consumer becomes
+// order-dependent. The check is function-local: a sort call anywhere in
+// the same function (sort.*, slices.Sort*) discharges the obligation,
+// which matches the repository's universal collect-sort-iterate idiom.
+func init() {
+	Register(&Analyzer{
+		ID:   CodeUnsortedKeys,
+		Name: "unsortedkeys",
+		Doc: "forbids collecting map keys into a slice that escapes the collecting function " +
+			"without being sorted: the slice inherits Go's randomized map iteration order. " +
+			"Sort with sort.* or slices.Sort* before the slice flows onward.",
+		Classes: []PkgClass{ClassEngine, ClassSupport},
+		Run:     runUnsortedKeys,
+	})
+}
+
+func runUnsortedKeys(pass *Pass) {
+	for _, file := range pass.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			checkUnsortedKeys(pass, body)
+		})
+	}
+}
+
+// collectSite is one `s = append(s, k)` inside a map range.
+type collectSite struct {
+	slice types.Object
+	pos   token.Pos
+	name  string
+}
+
+func checkUnsortedKeys(pass *Pass, body *ast.BlockStmt) {
+	var sites []collectSite
+	sorted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if isMap(orNil(pass.TypeOf(st.X))) {
+				sites = append(sites, appendSites(pass, st)...)
+			}
+		case *ast.CallExpr:
+			for _, obj := range sortedArgs(pass, st) {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	for _, site := range sites {
+		if !sorted[site.slice] {
+			pass.Reportf(site.pos,
+				"sort the slice before it flows onward (sort.Strings / sort.Slice / slices.Sort), "+
+					"or build it from an already-sorted source",
+				"map keys collected into %s, which is never sorted in this function: "+
+					"the slice inherits randomized map iteration order", site.name)
+		}
+	}
+}
+
+// appendSites finds `s = append(s, expr...)` statements inside a map
+// range where expr mentions a range variable and s outlives the loop.
+func appendSites(pass *Pass, rng *ast.RangeStmt) []collectSite {
+	rangeVars := rangeVarObjects(pass.Info, rng)
+	if len(rangeVars) == 0 {
+		return nil
+	}
+	var sites []collectSite
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if nested, ok := n.(*ast.RangeStmt); ok && nested != rng && isMap(orNil(pass.TypeOf(nested.X))) {
+			return false // reported on its own
+		}
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass.Info, call) || len(call.Args) < 2 {
+			return true
+		}
+		appendsRangeVar := false
+		for _, arg := range call.Args[1:] {
+			if mentionsAny(pass.Info, arg, rangeVars) {
+				appendsRangeVar = true
+			}
+		}
+		if !appendsRangeVar {
+			return true
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil || !declaredOutside(pass.Info, id, rng.Pos(), rng.End()) {
+			return true
+		}
+		sites = append(sites, collectSite{slice: obj, pos: st.Pos(), name: id.Name})
+		return true
+	})
+	return sites
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedArgs returns the objects passed to a sorting call: any function
+// of package sort or slices, a sort.Sort adapter (sort.StringSlice(s)
+// and friends count through the conversion), or a named sort helper —
+// any function whose name starts with "sort"/"Sort", which is how the
+// repository spells its comparator wrappers (afdx.SortPortIDs,
+// sortPortIDs, ...).
+func sortedArgs(pass *Pass, call *ast.CallExpr) []types.Object {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Pkg() == nil {
+		return nil
+	}
+	pkg := f.Pkg().Path()
+	if pkg != "sort" && pkg != "slices" &&
+		!strings.HasPrefix(f.Name(), "sort") && !strings.HasPrefix(f.Name(), "Sort") {
+		return nil
+	}
+	var objs []types.Object
+	for _, arg := range call.Args {
+		arg = ast.Unparen(arg)
+		// Unwrap one conversion layer: sort.Sort(sort.StringSlice(s)).
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = ast.Unparen(conv.Args[0])
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}

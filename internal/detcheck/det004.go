@@ -1,0 +1,103 @@
+package detcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// DET004 tolliteral: raw floating-point comparison-tolerance literals
+// in engine comparisons. internal/core/tol is the single named home of
+// the shared relative tolerance (tol.EpsRel, applied through tol.At /
+// tol.Leq / tol.Gt); a raw 1e-9 at a comparison site silently re-opens
+// the scale bug tol was built to close — absolute guards fall below one
+// ulp once busy periods pass 1e6 us on 128 ms BAG configurations.
+//
+// Only literals inside comparisons are flagged (a hoisted, documented
+// named constant is the sanctioned local form when the quantity is
+// genuinely not a time-scale tolerance). Literals equal to tol.EpsRel
+// carry a mechanical fix: rewrite to tol.EpsRel.
+func init() {
+	Register(&Analyzer{
+		ID:   CodeTolLiteral,
+		Name: "tolliteral",
+		Doc: "forbids raw float comparison-tolerance literals (magnitude <= 1e-5) inside " +
+			"engine comparisons: use tol.EpsRel / tol.At(scale) from internal/core/tol, or " +
+			"hoist the value into a documented named constant when it is not a time-scale " +
+			"tolerance.",
+		Classes: []PkgClass{ClassEngine},
+		Run:     runTolLiteral,
+	})
+}
+
+// tolLiteralMax is the magnitude at or below which a float literal in a
+// comparison reads as a tolerance. Engine quantities (microseconds,
+// bits, ratios) are >= 1e-3 wherever they are meaningful.
+const tolLiteralMax = 1e-5
+
+// epsRel mirrors tol.EpsRel; detcheck cannot import internal/core/tol
+// without creating a false engine dependency, and the registry test
+// pins the two values equal.
+const epsRel = 1e-9
+
+func runTolLiteral(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch cmp.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				checkToleranceOperand(pass, cmp.X)
+				checkToleranceOperand(pass, cmp.Y)
+			}
+			return true
+		})
+	}
+}
+
+// checkToleranceOperand flags small float literals anywhere inside one
+// operand of a comparison (directly, or inside the arithmetic that
+// builds the guard: b+1e-9, 1-1e-12, 1e-6*(1+|a|+|b|)).
+func checkToleranceOperand(pass *Pass, operand ast.Expr) {
+	ast.Inspect(operand, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			// Stop at calls except math.Abs/math.Max/math.Min wrappers:
+			// a literal argument of an arbitrary call is that callee's
+			// business, not a tolerance at this comparison.
+			call := n.(*ast.CallExpr)
+			f := calleeFunc(pass.Info, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "math" {
+				return false
+			}
+			return true
+		}
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.FLOAT {
+			return true
+		}
+		tv, ok := pass.Info.Types[ast.Expr(lit)]
+		if !ok || tv.Value == nil {
+			return true
+		}
+		v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		if v <= 0 || v > tolLiteralMax {
+			return true
+		}
+		if v == epsRel {
+			pass.ReportFix(lit.Pos(), lit.End(), lit.Value, "tol.EpsRel",
+				"replace the literal with tol.EpsRel (import afdx/internal/core/tol); "+
+					"use tol.At(scale)/tol.Leq/tol.Gt when the compared values scale with time",
+				"raw comparison-tolerance literal %s in engine code: the shared tolerance "+
+					"lives in internal/core/tol", lit.Value)
+			return true
+		}
+		pass.Reportf(lit.Pos(),
+			"use tol.EpsRel/tol.At from internal/core/tol, or hoist the value into a "+
+				"documented named constant stating why this site needs its own epsilon",
+			"raw comparison-tolerance literal %s in engine code: the shared tolerance "+
+				"lives in internal/core/tol", lit.Value)
+		return true
+	})
+}

@@ -1,0 +1,77 @@
+package detcheck
+
+import (
+	"go/ast"
+)
+
+// DET005 detcounterfanout: obs.Counter increments lexically inside a
+// closure handed to parallel.ForEach / ForEachCtx. Deterministic-class
+// counters promise snapshot equality across runs and worker counts;
+// that promise holds for batched counts flushed after the pool returns,
+// but a per-item Inc inside a worker closure is schedule-coupled — on
+// error runs the pool skips indices above the first failure, so the
+// count depends on which workers got how far — and contends on one
+// cache line for no observational gain. The sanctioned pattern is
+// netcalc.analyzePort's: accumulate a local int64 inside the unit of
+// work, flush one Add on the calling goroutine.
+func init() {
+	Register(&Analyzer{
+		ID:   CodeDetCounterFanout,
+		Name: "detcounterfanout",
+		Doc: "forbids obs.Counter Inc/Add calls lexically inside a parallel.ForEach(Ctx) " +
+			"closure: per-item increments from workers are schedule-coupled (error runs " +
+			"skip indices) and break Deterministic-class snapshot equality. Batch into a " +
+			"local and flush one Add after the pool returns.",
+		Classes: []PkgClass{ClassEngine, ClassSupport, ClassTool, ClassTolerance},
+		Run:     runDetCounterFanout,
+	})
+}
+
+const parallelPkg = "afdx/internal/parallel"
+const obsPkg = "afdx/internal/obs"
+
+func runDetCounterFanout(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgFunc(pass.Info, call, parallelPkg, "ForEach") &&
+				!isPkgFunc(pass.Info, call, parallelPkg, "ForEachCtx") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			fl, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkClosureCounters(pass, fl)
+			return true
+		})
+	}
+}
+
+func checkClosureCounters(pass *Pass, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || (f.Name() != "Inc" && f.Name() != "Add") {
+			return true
+		}
+		if !namedIs(recvNamed(pass.Info, call), obsPkg, "Counter") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"accumulate into a local int64 inside the unit of work and flush one "+
+				"counter.Add(total) after the pool returns (the netcalc.analyzePort pattern)",
+			"obs.Counter.%s inside a parallel.ForEach closure: per-item worker increments "+
+				"are schedule-coupled and break Deterministic-class snapshot equality", f.Name())
+		return true
+	})
+}

@@ -1,0 +1,366 @@
+// Package detcheck statically enforces the repository's determinism
+// contract at the Go source level: a suite of analyzers (DET001..DET006)
+// that forbid the nondeterministic computation patterns which have
+// historically broken bit-reproducibility (map-range float accumulation,
+// schedule-dependent counters, unseeded randomness, raw tolerance
+// literals, uncancellable engine loops), run by cmd/afdx-vet over the
+// whole tree as part of `make check`.
+//
+// The package mirrors the internal/lint vocabulary — a registered
+// Analyzer with a stable code, a Pass carrying one invocation, findings
+// emitted through internal/diag — but analyses Go packages instead of
+// AFDX configurations. It is built directly on go/ast and go/types (the
+// golang.org/x/tools go/analysis machinery is intentionally not a
+// dependency: the repository is stdlib-only), with an analysistest-style
+// golden harness in atest.go and a loader in load.go.
+//
+// Both determinism bugs fixed in PR 2 — the map-range float accumulation
+// in netcalc.analyzePort and the unbounded busy-period bail in
+// trajectory — were of statically detectable shape; this package is the
+// compile-time gate that keeps every future engine tier inside the
+// contract before a single determinism test runs.
+//
+// A finding is suppressed by annotating the offending line (or the line
+// directly above it) with a justified directive:
+//
+//	//detcheck:allow DET004: dimensionless utilization guard, scale-free by construction
+//
+// The justification is mandatory; a malformed directive is itself
+// reported under the reserved code DET000.
+package detcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The stable analyzer codes. DET000 is reserved for findings about the
+// analysis itself (malformed suppression directives, packages that fail
+// to load); one code per registered analyzer, asserted unique by the
+// registry tests.
+const (
+	// CodeMeta marks malformed //detcheck: directives and load failures.
+	CodeMeta = "DET000"
+	// CodeFloatMapRange marks floating-point accumulation (or running
+	// min/max) inside a `for range` over a map — the PR 2 netcalc bug
+	// class: the result depends on Go's randomized map iteration order.
+	CodeFloatMapRange = "DET001"
+	// CodeNondetSource marks reads of nondeterministic sources in engine
+	// packages: wall-clock time, environment variables, the globally
+	// seeded math/rand source, and map iterations that capture an
+	// arbitrary element by exiting early.
+	CodeNondetSource = "DET002"
+	// CodeUnsortedKeys marks map keys collected into a slice that leaves
+	// the collecting function without an intervening sort.
+	CodeUnsortedKeys = "DET003"
+	// CodeTolLiteral marks raw floating-point comparison-tolerance
+	// literals (1e-9 and friends) in engine comparisons outside
+	// internal/core/tol, the single home of the shared tolerance.
+	CodeTolLiteral = "DET004"
+	// CodeDetCounterFanout marks obs.Counter increments lexically inside
+	// a parallel.ForEach closure; per-item increments from workers are
+	// schedule-coupled (skipped indices after an error, contended lines)
+	// and break Deterministic-class snapshot equality. Batch locally and
+	// flush one Add after the pool returns.
+	CodeDetCounterFanout = "DET005"
+	// CodeCtxLoop marks unbounded engine loops (`for {` / `for ;;`)
+	// without a reachable context cancellation check, and bounded loops
+	// whose literal iteration cap is so large (>= 1e6) that it is a bail
+	// in disguise — the PR 2 trajectory bug class.
+	CodeCtxLoop = "DET006"
+)
+
+// An Analyzer is one source-level determinism check: a stable DET###
+// code, a short name, one-paragraph documentation, the package classes
+// it applies to, and a Run function reporting findings through the Pass.
+type Analyzer struct {
+	// ID is the stable DET### code every finding of this analyzer
+	// carries. One code per analyzer.
+	ID string
+	// Name is the short lower-case analyzer name (one word, matching the
+	// ISSUE/DESIGN rule catalog).
+	Name string
+	// Doc documents what the analyzer checks and why it matters.
+	Doc string
+	// Classes lists the package classes the analyzer inspects; packages
+	// of any other class are skipped entirely.
+	Classes []PkgClass
+	// Run performs the check over one package, reporting via pass.
+	Run func(pass *Pass)
+}
+
+// applies reports whether the analyzer inspects packages of class c.
+func (a *Analyzer) applies(c PkgClass) bool {
+	for _, ac := range a.Classes {
+		if ac == c {
+			return true
+		}
+	}
+	return false
+}
+
+var registry []*Analyzer
+
+// Register adds an analyzer to the global registry. It panics on a
+// duplicate code or name, a malformed code, or an empty doc — all
+// programming errors caught at init time (and by the registry tests,
+// which also assert parity with the internal/lint registry).
+func Register(a *Analyzer) {
+	if a.Name == "" || a.Doc == "" || a.Run == nil || len(a.Classes) == 0 {
+		panic(fmt.Sprintf("detcheck: analyzer %+v incompletely defined", a))
+	}
+	if len(a.ID) != 6 || !strings.HasPrefix(a.ID, "DET") || a.ID == CodeMeta {
+		panic(fmt.Sprintf("detcheck: analyzer %s has malformed code %q", a.Name, a.ID))
+	}
+	for _, b := range registry {
+		if b.ID == a.ID || b.Name == a.Name {
+			panic(fmt.Sprintf("detcheck: analyzer %s/%s collides with %s/%s", a.Name, a.ID, b.Name, b.ID))
+		}
+	}
+	registry = append(registry, a)
+}
+
+// Analyzers returns the registered analyzers sorted by code.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AnalyzerByID returns the analyzer owning a code, or nil.
+func AnalyzerByID(id string) *Analyzer {
+	for _, a := range registry {
+		if a.ID == id {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Fix is a machine-applicable replacement of one source range,
+// attached to findings whose rewrite is mechanical (DET004: raw literal
+// -> tol.EpsRel). Offsets are byte offsets into the named file.
+type Fix struct {
+	File   string `json:"file"`
+	Offset int    `json:"offset"`
+	End    int    `json:"end"`
+	Old    string `json:"old"`
+	New    string `json:"new"`
+}
+
+// A Finding is one analyzer hit: code, source position, message, and
+// optionally a mechanical fix. Suppressed findings (matched by a
+// justified //detcheck:allow directive) stay in the report for
+// transparency but do not gate.
+type Finding struct {
+	ID         string         `json:"id"`
+	Analyzer   string         `json:"analyzer"`
+	Pos        token.Position `json:"-"`
+	File       string         `json:"file"`
+	Line       int            `json:"line"`
+	Col        int            `json:"col"`
+	Message    string         `json:"message"`
+	Suggestion string         `json:"suggestion,omitempty"`
+	Suppressed bool           `json:"suppressed,omitempty"`
+	// Justification carries the text of the matching allow directive
+	// when the finding is suppressed.
+	Justification string `json:"justification,omitempty"`
+	Fix           *Fix   `json:"fix,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s %s", f.File, f.Line, f.Col, f.ID, f.Message)
+	if f.Suppressed {
+		s += " (suppressed: " + f.Justification + ")"
+	}
+	return s
+}
+
+// A Pass carries one analyzer invocation over one type-checked package.
+type Pass struct {
+	// Analyzer is the running analyzer.
+	Analyzer *Analyzer
+	// Fset positions every node of Files.
+	Fset *token.FileSet
+	// Files are the package's parsed sources (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's results for Files.
+	Info *types.Info
+	// Class is the package's determinism classification.
+	Class PkgClass
+	// Path is the package import path ("" for ad-hoc test packages).
+	Path string
+
+	out *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, suggestion, format string, args ...any) {
+	p.report(pos, suggestion, fmt.Sprintf(format, args...), nil)
+}
+
+// ReportFix records a finding at pos carrying a mechanical source fix
+// replacing [pos, end) with new text.
+func (p *Pass) ReportFix(pos, end token.Pos, old, new, suggestion, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(pos, suggestion, fmt.Sprintf(format, args...), &Fix{
+		File:   position.Filename,
+		Offset: position.Offset,
+		End:    p.Fset.Position(end).Offset,
+		Old:    old,
+		New:    new,
+	})
+}
+
+func (p *Pass) report(pos token.Pos, suggestion, msg string, fix *Fix) {
+	position := p.Fset.Position(pos)
+	*p.out = append(*p.out, Finding{
+		ID:         p.Analyzer.ID,
+		Analyzer:   p.Analyzer.Name,
+		Pos:        position,
+		File:       position.Filename,
+		Line:       position.Line,
+		Col:        position.Column,
+		Message:    msg,
+		Suggestion: suggestion,
+		Fix:        fix,
+	})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (through selectors and parenthesization), or nil for calls of
+// function-typed variables, conversions and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call invokes the package-level function
+// pkgPath.name.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name &&
+		f.Type().(*types.Signature).Recv() == nil
+}
+
+// recvNamed returns the defined type of a method call's receiver after
+// stripping pointers, or nil when the call is not a method call.
+func recvNamed(info *types.Info, call *ast.CallExpr) *types.Named {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// namedIs reports whether n is the defined type pkgPath.name.
+func namedIs(n *types.Named, pkgPath, name string) bool {
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// exprString renders an expression as compact source text for messages.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// mentionsObject reports whether expr references the object obj.
+func mentionsObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsAny reports whether expr references any of the objects.
+func mentionsAny(info *types.Info, expr ast.Expr, objs []types.Object) bool {
+	for _, o := range objs {
+		if o != nil && mentionsObject(info, expr, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredOutside reports whether the identifier's object is declared
+// outside the [lo, hi] node span (loop-external state). Objects without
+// a position (package names, builtins) count as outside.
+func declaredOutside(info *types.Info, id *ast.Ident, lo, hi token.Pos) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false // unresolved: stay quiet
+	}
+	return obj.Pos() < lo || obj.Pos() > hi
+}
+
+// funcBodies yields every function body in the file with its
+// documentation-bearing node: declarations and literals alike.
+func funcBodies(f *ast.File, visit func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Body)
+			}
+			return false // literals inside are reached via the body walk below
+		}
+		return true
+	})
+	// Function literals declared outside any FuncDecl (package-level var
+	// initializers) are rare; walk them too.
+	ast.Inspect(f, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncDecl); ok {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			visit(fl.Body)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,217 @@
+package detcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, type-checked unit of analysis.
+type Package struct {
+	// Path is the import path (go list's ImportPath).
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Class is the determinism classification (by import path).
+	Class PkgClass
+	// Fset positions Files.
+	Fset *token.FileSet
+	// Files are the non-test sources, parsed with comments.
+	Files []*ast.File
+	// Types and Info are the type-checker's results. Type errors do not
+	// abort the load (the build gate runs first); they surface as
+	// DET000 findings so a broken tree cannot silently pass.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking failures.
+	TypeErrors []error
+}
+
+// ModuleRoot walks up from dir to the directory holding go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("detcheck: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+}
+
+// Load resolves package patterns (./... and friends) with `go list`
+// from the module rooted at root, parses every non-test source file,
+// and type-checks each package against a shared source importer. The
+// loader is stdlib-only and works fully offline: all imports resolve to
+// the standard library or to packages inside the module.
+func Load(root string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("detcheck: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("detcheck: decoding go list output: %v", err)
+		}
+		if !lp.Standard && len(lp.GoFiles) > 0 {
+			listed = append(listed, lp)
+		}
+	}
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+
+	fset := token.NewFileSet()
+	// One shared source importer: it type-checks dependencies from
+	// source and caches them, so the whole tree is checked once.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		pkg, err := loadOne(fset, imp, lp, root)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func loadOne(fset *token.FileSet, imp types.Importer, lp listedPackage, root string) (*Package, error) {
+	pkg := &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Class: Classify(lp.ImportPath),
+		Fset:  fset,
+	}
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, relPath(root, path), mustRead(path), parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("detcheck: parsing %s: %v", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = newInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// The returned error duplicates the collected ones; the package is
+	// still analysable with partial type information.
+	pkg.Types, _ = conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// relPath renders path relative to root when possible so findings carry
+// stable module-root-relative file names.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+func mustRead(path string) []byte {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil // surfaces as a parse error with the file name
+	}
+	return b
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// RunPackage runs every applicable registered analyzer over one package
+// and returns its findings, suppressions applied, sorted by position.
+func RunPackage(pkg *Package) []Finding {
+	return runPackage(pkg, Analyzers())
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	var directives []*allowDirective
+	for _, f := range pkg.Files {
+		directives = append(directives, parseDirectives(pkg.Fset, f, &findings)...)
+	}
+	for _, err := range pkg.TypeErrors {
+		findings = append(findings, metaFinding(token.Position{Filename: pkg.Path},
+			"package does not type-check: %v", err))
+	}
+	for _, a := range analyzers {
+		if !a.applies(pkg.Class) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Class:    pkg.Class,
+			Path:     pkg.Path,
+			out:      &findings,
+		}
+		a.Run(pass)
+	}
+	findings = applyAllows(findings, directives)
+	sortFindings(findings)
+	return findings
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Col != fs[j].Col {
+			return fs[i].Col < fs[j].Col
+		}
+		return fs[i].ID < fs[j].ID
+	})
+}

@@ -1,0 +1,104 @@
+package detcheck
+
+import (
+	"regexp"
+	"testing"
+
+	"afdx/internal/core/tol"
+)
+
+// TestRegistryWellFormed mirrors internal/lint's registry contract for
+// the source-level suite: every analyzer carries a unique stable DET###
+// code (DET000 reserved for the suite itself), a unique name, docs, a
+// non-empty class set, and the registry lists them sorted.
+func TestRegistryWellFormed(t *testing.T) {
+	analyzers := Analyzers()
+	if len(analyzers) < 6 {
+		t.Fatalf("registry holds %d analyzers, want at least 6 (DET001..DET006)", len(analyzers))
+	}
+	codeRe := regexp.MustCompile(`^DET\d{3}$`)
+	codes := map[string]bool{}
+	names := map[string]bool{}
+	prev := ""
+	for _, a := range analyzers {
+		if !codeRe.MatchString(a.ID) {
+			t.Errorf("analyzer %q code %q is not DET###", a.Name, a.ID)
+		}
+		if a.ID == CodeMeta {
+			t.Errorf("analyzer %q registered under the reserved meta code %s", a.Name, CodeMeta)
+		}
+		if codes[a.ID] {
+			t.Errorf("duplicate analyzer code %s", a.ID)
+		}
+		codes[a.ID] = true
+		if a.Name == "" {
+			t.Errorf("analyzer %s has an empty name", a.ID)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s (%s) has no documentation", a.ID, a.Name)
+		}
+		if len(a.Classes) == 0 {
+			t.Errorf("analyzer %s applies to no package class", a.ID)
+		}
+		if a.ID <= prev {
+			t.Errorf("registry not sorted: %s listed after %s", a.ID, prev)
+		}
+		prev = a.ID
+		if got := AnalyzerByID(a.ID); got != a {
+			t.Errorf("AnalyzerByID(%s) does not round-trip", a.ID)
+		}
+	}
+	for _, id := range []string{CodeFloatMapRange, CodeNondetSource, CodeUnsortedKeys,
+		CodeTolLiteral, CodeDetCounterFanout, CodeCtxLoop} {
+		if !codes[id] {
+			t.Errorf("mandatory analyzer %s is not registered", id)
+		}
+	}
+}
+
+// TestEpsRelMatchesTol pins detcheck's mirrored epsilon to the real
+// one: DET004's fix rewrites literals equal to epsRel into tol.EpsRel,
+// which is only sound while the two constants agree.
+func TestEpsRelMatchesTol(t *testing.T) {
+	if epsRel != tol.EpsRel {
+		t.Fatalf("detcheck epsRel = %g, tol.EpsRel = %g: the DET004 fix would rewrite the wrong literal", epsRel, tol.EpsRel)
+	}
+}
+
+// TestClassify pins the import-path classification the analyzers gate
+// on.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		path string
+		want PkgClass
+	}{
+		{"afdx/internal/netcalc", ClassEngine},
+		{"afdx/internal/trajectory", ClassEngine},
+		{"afdx/internal/exact", ClassEngine},
+		{"afdx/internal/sim", ClassEngine},
+		{"afdx/internal/minplus", ClassEngine},
+		{"afdx/internal/incremental", ClassEngine},
+		{"afdx/internal/core/tol", ClassTolerance},
+		{"afdx/cmd/afdx-vet", ClassTool},
+		{"afdx/internal/model", ClassSupport},
+		{"afdx", ClassSupport},
+	}
+	for _, c := range cases {
+		if got := Classify(c.path); got != c.want {
+			t.Errorf("Classify(%q) = %s, want %s", c.path, got, c.want)
+		}
+	}
+	paths := EnginePaths()
+	if len(paths) != 6 {
+		t.Errorf("EnginePaths lists %d packages, want 6", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i-1] >= paths[i] {
+			t.Errorf("EnginePaths not sorted: %q before %q", paths[i-1], paths[i])
+		}
+	}
+}

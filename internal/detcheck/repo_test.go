@@ -1,0 +1,35 @@
+package detcheck
+
+import (
+	"testing"
+)
+
+// TestRepositoryClean is the self-hosting gate in test form: the whole
+// module must pass the suite with zero active findings. Every finding
+// in the tree is either fixed or carries a justified //detcheck:allow
+// directive; a new violation fails this test before it ever reaches
+// check.sh.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	rep, err := Run(root, "./...")
+	if err != nil {
+		t.Fatalf("running the suite over the module: %v", err)
+	}
+	if rep.Packages == 0 {
+		t.Fatal("the suite analysed zero packages")
+	}
+	for _, f := range rep.Findings {
+		if !f.Suppressed {
+			t.Errorf("active finding: %s\n        fix: %s", f.String(), f.Suggestion)
+		}
+	}
+	if rep.Active == 0 && rep.Suppressed > 0 {
+		t.Logf("tree clean: %d package(s), %d suppressed finding(s)", rep.Packages, rep.Suppressed)
+	}
+}

@@ -1,0 +1,125 @@
+//detcheck:classify engine
+package det001
+
+import (
+	"math"
+	"sort"
+)
+
+// Positive cases: float accumulation and min/max into loop-external
+// state inside a map range.
+
+func sumOverMap(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `DET001 floating-point accumulation into total`
+	}
+	return total
+}
+
+func maxViaMathMax(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		best = math.Max(best, v) // want `DET001 self-referential float update of best`
+	}
+	return best
+}
+
+func maxViaIf(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v // want `DET001 conditional min/max of best`
+		}
+	}
+	return best
+}
+
+type accum struct{ total float64 }
+
+func sumIntoField(m map[string]float64) accum {
+	var a accum
+	for _, v := range m {
+		a.total += v // want `DET001 floating-point accumulation into a.total`
+	}
+	return a
+}
+
+func sumIntoForeignKey(m map[string]float64, out map[int]float64) {
+	for _, v := range m {
+		out[0] += v // want `DET001 floating-point accumulation into out\[0\]`
+	}
+}
+
+// Negative cases: integer accumulation commutes exactly, slice ranges
+// are ordered, per-range-key writes touch each key once, and local
+// accumulators reset every iteration.
+
+func countOverMap(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func intSumOverMap(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sumOverSlice(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func perKeyWrite(m map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+func sortedKeySum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+func localPerIteration(m map[string][]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Suppression case: a justified allow directive on the line above the
+// accumulation silences the finding.
+
+func allowedSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//detcheck:allow DET001: test corpus exercises the suppression path
+		total += v
+	}
+	return total
+}

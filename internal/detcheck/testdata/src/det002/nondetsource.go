@@ -1,0 +1,87 @@
+//detcheck:classify engine
+package det002
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Positive cases: wall clock, environment, global rand source, and
+// arbitrary-element map capture.
+
+func wallClock() time.Time {
+	return time.Now() // want `DET002 engine code calls time.Now`
+}
+
+func sinceEpoch(t time.Time) time.Duration {
+	return time.Since(t) // want `DET002 engine code calls time.Since`
+}
+
+func envRead() string {
+	return os.Getenv("AFDX_MODE") // want `DET002 engine code calls os.Getenv`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `DET002 engine code calls the globally seeded math/rand.Intn`
+}
+
+func arbitraryElement(m map[string]int) string {
+	first := ""
+	for k := range m { // want `DET002 map range captures an arbitrary element`
+		first = k
+		break
+	}
+	return first
+}
+
+func arbitraryReturn(m map[string]int) string {
+	for k := range m { // want `DET002 map range captures an arbitrary element`
+		return k
+	}
+	return ""
+}
+
+// Negative cases: locally seeded sources, methods on *rand.Rand, full
+// map iterations, and order-independent existence checks.
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8)
+}
+
+func fullIteration(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func existenceCheck(m map[string]int) bool {
+	found := false
+	for k := range m {
+		if k == "x" {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+func minKey(m map[string]int) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Suppression case.
+
+func allowedClock() time.Time {
+	//detcheck:allow DET002: test corpus exercises the suppression path
+	return time.Now()
+}

@@ -1,0 +1,110 @@
+//detcheck:classify engine
+package det003
+
+import (
+	"slices"
+	"sort"
+)
+
+// Positive cases: keys (or values) collected into a slice that leaves
+// the function unsorted.
+
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `DET003 map keys collected into keys, which is never sorted`
+	}
+	return keys
+}
+
+func unsortedValues(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want `DET003 map keys collected into vals, which is never sorted`
+	}
+	return vals
+}
+
+func unsortedIntoSignature(m map[string]int, hash func([]string) string) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `DET003 map keys collected into keys, which is never sorted`
+	}
+	return hash(keys)
+}
+
+// Negative cases: every collect-then-sort idiom the repository uses.
+
+func sortStrings(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSlice(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func slicesSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func sortAdapter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Sort(sort.StringSlice(keys))
+	return keys
+}
+
+func localSortHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+func appendConstant(m map[string]int) []string {
+	var tags []string
+	for range m {
+		tags = append(tags, "present")
+	}
+	return tags
+}
+
+func sliceRangeCollect(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Suppression case.
+
+func allowedUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//detcheck:allow DET003: test corpus exercises the suppression path
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,51 @@
+//detcheck:classify engine
+package det004
+
+import "math"
+
+// Positive cases: raw tolerance-magnitude float literals inside
+// comparisons (directly, in guard arithmetic, and inside math wrappers).
+
+func absTolerance(a, b float64) bool {
+	return a <= b+1e-9 // want `DET004 raw comparison-tolerance literal 1e-9`
+}
+
+func nearUnity(u float64) bool {
+	return u > 1-1e-12 // want `DET004 raw comparison-tolerance literal 1e-12`
+}
+
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b)) // want `DET004 raw comparison-tolerance literal 1e-6`
+}
+
+func flooredGuard(x, y float64) bool {
+	return math.Max(x, 1e-9) >= y // want `DET004 raw comparison-tolerance literal 1e-9`
+}
+
+// Negative cases: named constants, coarse thresholds, literals outside
+// comparisons, and literals that belong to a non-math callee.
+
+const convergenceEps = 1e-9
+
+func namedConstGuard(a, b float64) bool {
+	return a <= b+convergenceEps
+}
+
+func coarseThreshold(u float64) bool {
+	return u < 0.5
+}
+
+func scaledProduct(x float64) float64 {
+	return x * 1e-9
+}
+
+func literalInCall(a float64, clamp func(v, floor float64) float64) bool {
+	return clamp(a, 1e-9) > 0
+}
+
+// Suppression case.
+
+func allowedTolerance(a, b float64) bool {
+	//detcheck:allow DET004: test corpus exercises the suppression path
+	return a <= b+1e-9
+}

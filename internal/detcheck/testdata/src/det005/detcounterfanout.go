@@ -1,0 +1,74 @@
+package det005
+
+import (
+	"context"
+
+	"afdx/internal/obs"
+	"afdx/internal/parallel"
+)
+
+// Positive cases: obs.Counter increments inside worker closures.
+
+func perItemInc(reg *obs.Registry, n int) error {
+	items := reg.Counter("det005.items", obs.Deterministic, "per-item increments")
+	return parallel.ForEach(4, n, func(i int) error {
+		items.Inc() // want `DET005 obs.Counter.Inc inside a parallel.ForEach closure`
+		return nil
+	})
+}
+
+func perItemAdd(ctx context.Context, reg *obs.Registry, sizes []int) error {
+	bits := reg.Counter("det005.bits", obs.Deterministic, "bits seen")
+	return parallel.ForEachCtx(ctx, 0, len(sizes), func(i int) error {
+		bits.Add(int64(sizes[i])) // want `DET005 obs.Counter.Add inside a parallel.ForEach closure`
+		return nil
+	})
+}
+
+// Negative cases: the sanctioned batch-then-flush pattern, BestEffort
+// histograms (scheduling observations are allowed to race), and
+// counter increments in closures that never reach a pool.
+
+func batched(reg *obs.Registry, sizes []int) error {
+	totals := make([]int64, len(sizes))
+	c := reg.Counter("det005.batched", obs.Deterministic, "batched bits")
+	if err := parallel.ForEach(4, len(sizes), func(i int) error {
+		totals[i] = int64(sizes[i])
+		return nil
+	}); err != nil {
+		return err
+	}
+	var sum int64
+	for _, t := range totals {
+		sum += t
+	}
+	c.Add(sum)
+	return nil
+}
+
+func histogramOK(reg *obs.Registry, n int) error {
+	h := reg.Histogram("det005.occupancy", obs.BestEffort, "sampled occupancy")
+	return parallel.ForEach(2, n, func(i int) error {
+		h.Observe(int64(i))
+		return nil
+	})
+}
+
+func nonPoolClosure(reg *obs.Registry, n int) {
+	c := reg.Counter("det005.sequential", obs.Deterministic, "sequential increments")
+	run := func() { c.Inc() }
+	for i := 0; i < n; i++ {
+		run()
+	}
+}
+
+// Suppression case.
+
+func allowedInc(reg *obs.Registry, n int) error {
+	c := reg.Counter("det005.allowed", obs.Deterministic, "allowed increments")
+	return parallel.ForEach(1, n, func(i int) error {
+		//detcheck:allow DET005: test corpus exercises the suppression path
+		c.Inc()
+		return nil
+	})
+}

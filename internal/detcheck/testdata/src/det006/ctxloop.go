@@ -1,0 +1,90 @@
+//detcheck:classify engine
+package det006
+
+import "context"
+
+// Positive cases: condition-free loops without a cancellation check,
+// and huge literal iteration caps (a bail in disguise).
+
+func fixpointNoCancel(x float64) float64 {
+	for { // want `DET006 condition-free loop in engine code without a context cancellation check`
+		nx := 0.5*x + 1
+		if nx >= x {
+			return nx
+		}
+		x = nx
+	}
+}
+
+func bailCap(x float64) float64 {
+	for i := 0; i < 2000000; i++ { // want `DET006 loop bounded only by the literal cap 2000000`
+		x = 0.5*x + 1
+	}
+	return x
+}
+
+// Negative cases: loops that poll ctx.Err, select on ctx.Done, carry a
+// modest literal bound, or derive their bound from the input.
+
+func polledLoop(ctx context.Context, x float64) (float64, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		nx := 0.5*x + 1
+		if nx >= x {
+			return nx, nil
+		}
+		x = nx
+	}
+}
+
+func selectDone(ctx context.Context, in <-chan float64) float64 {
+	total := 0.0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-in:
+			total += v
+		}
+	}
+}
+
+func smallBound(x float64) float64 {
+	for i := 0; i < 64; i++ {
+		x = 0.5*x + 1
+	}
+	return x
+}
+
+func derivedBound(xs []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+func hugeCapPolled(ctx context.Context, x float64) (float64, error) {
+	for i := 0; i < 5000000; i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		x = 0.5*x + 1
+	}
+	return x, nil
+}
+
+// Suppression case.
+
+func allowedSpin(step func() bool) {
+	//detcheck:allow DET006: test corpus exercises the suppression path
+	for {
+		if step() {
+			return
+		}
+	}
+}

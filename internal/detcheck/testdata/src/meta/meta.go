@@ -1,0 +1,21 @@
+//detcheck:classify engine
+package meta
+
+// Every directive below is deliberately defective; TestMetaDirectives
+// asserts that each one is reported under the reserved DET000 code
+// instead of being silently ignored.
+
+//detcheck:allow DET001
+func missingJustification() {}
+
+//detcheck:allow DET999: not a registered analyzer code
+func unknownCode() {}
+
+//detcheck:frobnicate everything
+func unknownDirective() {}
+
+//detcheck:allow DET002: stale — nothing on this line trips DET002
+func staleAllow() {}
+
+//detcheck:classify nuclear
+func unknownClass() {}

@@ -112,9 +112,11 @@ const (
 	CodeLinkUtilization Code = "AFDX013"
 )
 
-// Location pins a diagnostic inside the configuration. Zero fields are
-// simply omitted: a network-level diagnostic has none, a port-level one
-// fills Link, a contract violation fills VL.
+// Location pins a diagnostic inside the configuration or, for
+// source-level diagnostics (internal/detcheck), inside the Go tree.
+// Zero fields are simply omitted: a network-level diagnostic has none,
+// a port-level one fills Link, a contract violation fills VL, a
+// source-level one fills File/Line.
 type Location struct {
 	// VL is the virtual-link identifier, when the diagnostic concerns
 	// one VL (contract, routing, tree).
@@ -123,6 +125,10 @@ type Location struct {
 	Node string `json:"node,omitempty"`
 	// Link is a directed link / output port, rendered "from->to".
 	Link string `json:"link,omitempty"`
+	// File and Line locate a source-level diagnostic (afdx-vet). File
+	// is module-root-relative; Line is 1-based (0 = whole file).
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
 }
 
 // IsZero reports whether the location carries no information.
@@ -138,6 +144,13 @@ func (l Location) String() string {
 	}
 	if l.Link != "" {
 		parts = append(parts, "link="+l.Link)
+	}
+	if l.File != "" {
+		if l.Line > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", l.File, l.Line))
+		} else {
+			parts = append(parts, l.File)
+		}
 	}
 	return strings.Join(parts, " ")
 }

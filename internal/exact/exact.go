@@ -59,6 +59,7 @@ func (r *Result) MaxDelayUs() float64 {
 	m := 0.0
 	for _, d := range r.Delays {
 		if d > m {
+			//detcheck:allow DET001: running max over float64 values is a comparison, not arithmetic — no rounding, so the result is iteration-order independent
 			m = d
 		}
 	}
@@ -141,6 +142,9 @@ func SearchCtx(ctx context.Context, pg *afdx.PortGraph, opts Options) (*Result, 
 	idx := make([]int, len(vls))
 	offsets := map[string]float64{}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i, v := range vls {
 			offsets[v.ID] = float64(idx[i]) * grids[i]
 		}

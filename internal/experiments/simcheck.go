@@ -59,8 +59,17 @@ func SimCheck(seeds int) (*SimCheckResult, error) {
 		}
 	}
 	out := &SimCheckResult{}
+	// Iterate in canonical path order: the tightness slices feed the
+	// stats summary, whose mean accumulation must not inherit the
+	// randomized map iteration order (DET003).
+	pids := make([]afdx.PathID, 0, len(maxSim))
+	for pid := range maxSim {
+		pids = append(pids, pid)
+	}
+	afdx.SortPathIDs(pids)
 	var tNC, tTraj []float64
-	for pid, d := range maxSim {
+	for _, pid := range pids {
+		d := maxSim[pid]
 		out.NumPaths++
 		if d > nc.PathDelays[pid]+1e-6 || d > trU.PathDelays[pid]+1e-6 {
 			out.Violations++

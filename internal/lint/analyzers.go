@@ -281,6 +281,7 @@ func kahnResidue(deg map[afdx.PortID]int, next map[afdx.PortID][]afdx.PortID) ma
 	var ready []afdx.PortID
 	for id, d := range deg {
 		if d == 0 {
+			//detcheck:allow DET003: kahnResidue returns the surviving node set and a count — both are independent of the order zero-degree nodes are peeled
 			ready = append(ready, id)
 		}
 	}

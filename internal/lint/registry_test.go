@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	afdx "afdx/internal/afdx"
+	"afdx/internal/detcheck"
 	"afdx/internal/lint"
 	"afdx/internal/netcalc"
 	"afdx/internal/trajectory"
@@ -49,6 +50,45 @@ func TestRegistryWellFormed(t *testing.T) {
 		if got := lint.AnalyzerByCode(a.Code); got != a {
 			t.Errorf("AnalyzerByCode(%s) does not round-trip", code)
 		}
+	}
+}
+
+// TestBothRegistriesWellFormed spans the repository's two analysis
+// suites: afdx-lint's configuration analyzers (AFDX###) and afdx-vet's
+// source analyzers (DET###) must each carry unique, documented codes in
+// their own namespace, with no cross-namespace reuse of an analyzer
+// name — a finding's code alone must identify which tool raised it and
+// what it means.
+func TestBothRegistriesWellFormed(t *testing.T) {
+	codes := map[string]string{} // code -> owning suite
+	names := map[string]string{} // analyzer name -> owning suite
+	record := func(suite, code, name, doc string, re *regexp.Regexp) {
+		if !re.MatchString(code) {
+			t.Errorf("%s analyzer %q code %q does not match %v", suite, name, code, re)
+		}
+		if prev, dup := codes[code]; dup {
+			t.Errorf("code %s registered by both %s and %s", code, prev, suite)
+		}
+		codes[code] = suite
+		if prev, dup := names[name]; dup {
+			t.Errorf("analyzer name %q registered by both %s and %s", name, prev, suite)
+		}
+		names[name] = suite
+		if doc == "" {
+			t.Errorf("%s analyzer %s (%s) has no documentation", suite, code, name)
+		}
+	}
+	lintRe := regexp.MustCompile(`^AFDX\d{3}$`)
+	for _, a := range lint.Analyzers() {
+		record("afdx-lint", string(a.Code), a.Name, a.Doc, lintRe)
+	}
+	detRe := regexp.MustCompile(`^DET\d{3}$`)
+	det := detcheck.Analyzers()
+	if len(det) < 6 {
+		t.Fatalf("detcheck registry holds %d analyzers, want at least 6", len(det))
+	}
+	for _, a := range det {
+		record("afdx-vet", a.ID, a.Name, a.Doc, detRe)
 	}
 }
 

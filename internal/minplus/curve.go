@@ -21,6 +21,13 @@ import (
 // curve coordinates. Values within Eps are considered equal.
 const Eps = 1e-9
 
+// joinEps is the looser absolute tolerance for vertical continuity at
+// segment joins: Y values carry rounding accumulated across convolution
+// chains, so equality of left limit and segment start is asserted at
+// 1e-6 rather than Eps. Deliberately a named constant, not a literal at
+// the comparison sites (DET004).
+const joinEps = 1e-6
+
 // Segment is one linear piece of a Curve. The piece covers [X, nextX)
 // (or [X, +inf) for the last piece) and evaluates to Y + Slope*(t-X).
 // A jump discontinuity at X is expressed by Y exceeding the left limit
@@ -64,7 +71,7 @@ func NewCurve(segs []Segment) (Curve, error) {
 				return Curve{}, fmt.Errorf("minplus: segment %d abscissa %g does not increase past %g", i, s.X, prev.X)
 			}
 			leftLimit := prev.Y + prev.Slope*(s.X-prev.X)
-			if s.Y < leftLimit-1e-6 {
+			if s.Y < leftLimit-joinEps {
 				return Curve{}, fmt.Errorf("minplus: curve decreases at X=%g (%g -> %g)", s.X, leftLimit, s.Y)
 			}
 		}
@@ -126,7 +133,7 @@ func (c *Curve) normalize() {
 	for _, s := range c.segs[1:] {
 		last := &out[len(out)-1]
 		joinY := last.Y + last.Slope*(s.X-last.X)
-		if math.Abs(joinY-s.Y) <= 1e-6 && math.Abs(last.Slope-s.Slope) <= Eps {
+		if math.Abs(joinY-s.Y) <= joinEps && math.Abs(last.Slope-s.Slope) <= Eps {
 			continue // collinear continuation: drop the breakpoint
 		}
 		out = append(out, s)
@@ -178,7 +185,7 @@ func (c Curve) IsConcave() bool {
 			return false
 		}
 		leftLimit := prev.Y + prev.Slope*(s.X-prev.X)
-		if s.Y > leftLimit+1e-6 { // interior jump
+		if s.Y > leftLimit+joinEps { // interior jump
 			return false
 		}
 	}
@@ -198,7 +205,7 @@ func (c Curve) IsConvex() bool {
 			return false
 		}
 		leftLimit := prev.Y + prev.Slope*(s.X-prev.X)
-		if math.Abs(s.Y-leftLimit) > 1e-6 {
+		if math.Abs(s.Y-leftLimit) > joinEps {
 			return false
 		}
 	}

@@ -1,0 +1,41 @@
+package netcalc
+
+import (
+	"fmt"
+	"testing"
+
+	"afdx/internal/afdx"
+)
+
+// TestMaxBacklogBitsDeterministic guards the sorted-port scan in
+// MaxBacklogBits: the maximum must be identical on every call and equal
+// to the independently computed maximum, regardless of how Go happens
+// to order the Ports map.
+func TestMaxBacklogBitsDeterministic(t *testing.T) {
+	r := &Result{Ports: map[afdx.PortID]PortResult{}}
+	want := 0.0
+	for i := 0; i < 64; i++ {
+		b := float64((i*7919)%1009) + float64(i)/3
+		r.Ports[afdx.PortID{From: fmt.Sprintf("n%02d", i), To: "s1"}] = PortResult{BacklogBits: b}
+		if b > want {
+			want = b
+		}
+	}
+	first := r.MaxBacklogBits()
+	if first != want {
+		t.Fatalf("MaxBacklogBits = %g, want %g", first, want)
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.MaxBacklogBits(); got != first {
+			t.Fatalf("call %d: MaxBacklogBits = %g, want %g", i, got, first)
+		}
+	}
+}
+
+// TestMaxBacklogBitsEmpty pins the zero-port behaviour.
+func TestMaxBacklogBitsEmpty(t *testing.T) {
+	r := &Result{Ports: map[afdx.PortID]PortResult{}}
+	if got := r.MaxBacklogBits(); got != 0 {
+		t.Fatalf("MaxBacklogBits on empty result = %g, want 0", got)
+	}
+}

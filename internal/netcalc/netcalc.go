@@ -590,10 +590,18 @@ func (r *Result) PathDelay(id afdx.PathID) (float64, error) {
 
 // MaxBacklogBits returns the largest per-port backlog bound, i.e. the
 // switch buffer dimensioning figure mentioned in the paper's section II-B.
+// The ports are scanned in canonical order so that a future refinement
+// reporting the arg-max port cannot reintroduce a DET001 tie-break on
+// randomized map iteration.
 func (r *Result) MaxBacklogBits() float64 {
+	ids := make([]afdx.PortID, 0, len(r.Ports))
+	for id := range r.Ports {
+		ids = append(ids, id)
+	}
+	afdx.SortPortIDs(ids)
 	m := 0.0
-	for _, p := range r.Ports {
-		if p.BacklogBits > m {
+	for _, id := range ids {
+		if p := r.Ports[id]; p.BacklogBits > m {
 			m = p.BacklogBits
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"afdx/internal/afdx"
+	"afdx/internal/core/tol"
 	"afdx/internal/obs"
 )
 
@@ -138,6 +139,7 @@ func (r *Result) MaxDelayUs() float64 {
 	m := 0.0
 	for _, s := range r.Paths {
 		if s.MaxDelayUs > m {
+			//detcheck:allow DET001: running max over float64 values is a comparison, not arithmetic — no rounding, so the result is iteration-order independent
 			m = s.MaxDelayUs
 		}
 	}
@@ -176,7 +178,7 @@ type tokenBucket struct {
 func (tb *tokenBucket) conform(nowNs, bits int64) bool {
 	tb.tokens = math.Min(tb.capacity, tb.tokens+float64(nowNs-tb.lastNs)*tb.rate)
 	tb.lastNs = nowNs
-	if tb.tokens+1e-9 >= float64(bits) {
+	if tb.tokens+tol.EpsRel >= float64(bits) {
 		tb.tokens -= float64(bits)
 		return true
 	}

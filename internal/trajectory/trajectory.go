@@ -600,6 +600,7 @@ func (a *analyzer) sourceBusyPeriod(ctx context.Context, vl *afdx.VirtualLink, s
 		}
 		util += c / f.VL.BAGUs()
 	}
+	//detcheck:allow DET004: dimensionless utilization guard, scale-free by construction
 	if util >= 1-1e-12 {
 		return 0, 0, fmt.Errorf("trajectory: busy period of port %s does not converge (port utilization %.9g >= 1)", src, util)
 	}
