@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the expanded verification
 # gate (build, gofmt, vet, tests, race detector); see check.sh.
 
-.PHONY: build test check lint vet-tool fmt bench bench-pr3 bench-pr4 bench-pr5 profile conformance fuzz-smoke
+.PHONY: build test check lint vet-tool fmt bench bench-pr3 bench-pr4 bench-pr5 bench-pr7 profile conformance fuzz-smoke
 
 build:
 	go build ./...
@@ -51,6 +51,16 @@ bench-pr3:
 bench-pr5:
 	go test -run '^$$' -bench '(ShrinkLoop|WhatIfStep)(Cold|Incr)$$' -benchtime 5x -count 3 ./internal/incremental \
 		| tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR5.json
+
+# Time the trajectory engine on the industrial configuration through
+# the reference (pre-flattening) hot path (Cold) and the flat
+# index-based one (Fast), sequentially and parallel. The differential
+# suite (internal/trajectory/flat_test.go) proves the two bit-identical,
+# so the recorded ratio is pure hot-loop wall time; pairs use the
+# fastest of 3 samples. Expected: Seq speedup >= 5x.
+bench-pr7:
+	go test -run '^$$' -bench 'TrajectoryIndustrial(Seq|Par)(Cold|Fast)$$' -benchtime 2x -count 3 ./internal/trajectory \
+		| tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR7.json
 
 # Measure the observability layer itself: per-engine instrumented/plain
 # wall-time ratio (median over interleaved rounds; budget <= 5%) plus

@@ -16,10 +16,13 @@
 #                             every configuration replays a delta
 #                             sequence through a what-if session and
 #                             requires bit-identity with cold runs)
-#   9. traced conformance    (same campaign with metrics + tracing on:
+#   9. flat hot-path smoke   (a third campaign on yet another seed,
+#                             cross-checking the flattened trajectory
+#                             hot path against the oracle's invariants)
+#  10. traced conformance    (same campaign with metrics + tracing on:
 #                             verdicts must be identical — observability
 #                             never participates in the computation)
-#  10. fuzz smoke            (each native fuzz target for a few seconds)
+#  11. fuzz smoke            (each native fuzz target for a few seconds)
 #
 # Usage: ./check.sh        (or: make check)
 set -eu
@@ -68,6 +71,14 @@ echo "== incremental parity (30-config campaign, what-if vs cold bit-identity)"
 # the parallel worker count). A different seed than the campaign above,
 # so the two gates cover disjoint configuration draws.
 go run ./cmd/afdx-conformance -n 30 -seed 5 -quiet
+
+echo "== flat hot-path smoke (30-config conformance slice)"
+# A conformance slice on a seed the gates above never draw, aimed at the
+# flattened trajectory hot path: the oracle cross-checks the optimized
+# engine against network calculus and the invariant lattice on every
+# configuration, so an indexing or scratch-reuse bug in the flat engine
+# surfaces here even if the unit corpus misses it.
+go run ./cmd/afdx-conformance -n 30 -seed 11 -quiet
 
 echo "== traced conformance (observability non-interference)"
 # Run the same 50-config campaign plain and with the full observability

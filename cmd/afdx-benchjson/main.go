@@ -1,8 +1,10 @@
 // Command afdx-benchjson converts `go test -bench` output on stdin into
 // a small JSON report, pairing the industrial engine benchmarks'
-// Seq/Par variants (parallel speedup) and the incremental benchmarks'
-// Cold/Incr variants (what-if re-analysis speedup). Repeated samples
-// of one benchmark (`-count`) pair by their fastest run.
+// Seq/Par variants (parallel speedup), the incremental benchmarks'
+// Cold/Incr variants (what-if re-analysis speedup), and the trajectory
+// hot-path benchmarks' Cold/Fast variants (reference engine vs the
+// flat index-based fast path). Repeated samples of one benchmark
+// (`-count`) pair by their fastest run.
 //
 // Usage:
 //
@@ -68,6 +70,18 @@ type IncrPair struct {
 	Speedup  float64 `json:"speedup"`
 }
 
+// FastPair is a Cold/Fast benchmark couple: the same workload run by
+// the reference (pre-flattening) trajectory engine vs the flat
+// index-based hot path. The two are bit-identical by contract, so the
+// speedup is pure hot-loop wall time saved.
+type FastPair struct {
+	Base       string  `json:"benchmark"`
+	ColdNsOp   float64 `json:"cold_ns_per_op"`
+	FastNsOp   float64 `json:"fast_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
 // EngineObs is one engine's -obs measurement on the industrial
 // configuration: wall time plain vs instrumented, the relative
 // overhead, and the full counter breakdown of the instrumented run.
@@ -98,6 +112,7 @@ type Report struct {
 	Rows       []Row      `json:"benchmarks"`
 	Pairs      []Pair     `json:"seq_par_pairs,omitempty"`
 	IncrPairs  []IncrPair `json:"cold_incr_pairs,omitempty"`
+	FastPairs  []FastPair `json:"cold_fast_pairs,omitempty"`
 	Obs        *ObsReport `json:"observability,omitempty"`
 	Note       string     `json:"note"`
 }
@@ -125,6 +140,7 @@ func main() {
 		Rows:       rows,
 		Pairs:      pair(rows),
 		IncrPairs:  pairIncr(rows),
+		FastPairs:  pairFast(rows),
 		Note: "Seq = -parallel 1, Par = -parallel 0 (all CPUs). The engines' " +
 			"bit-reproducibility contract makes both variants compute identical " +
 			"bounds; speedup below ~1.5x on a multi-core runner is a regression, " +
@@ -310,6 +326,30 @@ func pair(rows []Row) []Pair {
 		pairs = append(pairs, Pair{
 			Base: base, SeqNsOp: seq, ParNsOp: par,
 			Speedup:    seq / par,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Base < pairs[j].Base })
+	return pairs
+}
+
+// pairFast matches FooCold/FooFast rows and computes the flat hot-path
+// speedups over the reference engine.
+func pairFast(rows []Row) []FastPair {
+	byName := bestByName(rows)
+	var pairs []FastPair
+	for name, cold := range byName {
+		base, ok := strings.CutSuffix(name, "Cold")
+		if !ok {
+			continue
+		}
+		fast, ok := byName[base+"Fast"]
+		if !ok || fast == 0 {
+			continue
+		}
+		pairs = append(pairs, FastPair{
+			Base: base, ColdNsOp: cold, FastNsOp: fast,
+			Speedup:    cold / fast,
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 		})
 	}

@@ -9,6 +9,8 @@ package afdx_test
 // including under the race detector (see check.sh).
 
 import (
+	"fmt"
+	"hash/fnv"
 	"testing"
 
 	"afdx"
@@ -175,4 +177,123 @@ func TestSmallIndustrialTrajectoryBitIdenticalParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameTrajectoryResults(t, "small industrial trajectory", seq, par)
+}
+
+// renderTrajectoryLines renders a trajectory result into the canonical
+// golden form: one line per path in PathID order, floats in hex (%x, an
+// exact bit-level rendering), candidate and interferer counts appended.
+func renderTrajectoryLines(res *afdx.TrajectoryResult) []string {
+	ids := make([]afdx.PathID, 0, len(res.PathDelays))
+	for id := range res.PathDelays {
+		ids = append(ids, id)
+	}
+	afdx.SortPathIDs(ids)
+	lines := make([]string, 0, len(ids))
+	for _, id := range ids {
+		d := res.Details[id]
+		lines = append(lines, fmt.Sprintf("%v %x %x %x %d %d",
+			id, d.DelayUs, d.BusyPeriodUs, d.CriticalT, d.NumCandidates, d.NumInterferers))
+	}
+	return lines
+}
+
+// TestTrajectoryGoldenPinnedValues pins the trajectory engine's output
+// bit-for-bit against values captured from the pre-flattening (PR 6)
+// engine: the paper's sample configuration per option variant
+// literally, and the 120-VL generated configuration as an FNV-64a
+// digest of its 783 rendered path lines per variant. Any change to a
+// float accumulation order in the hot path — flat or reference — trips
+// this test; it is the old-vs-new anchor of the PR 7 rework, on top of
+// the engine-vs-engine differential tests in internal/trajectory.
+func TestTrajectoryGoldenPinnedValues(t *testing.T) {
+	fig2, err := afdx.BuildPortGraph(afdx.Figure2Config(), afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All grouped fig2 variants coincide on the sample configuration
+	// (the serialization cap binds the same way and the transition terms
+	// are symmetric); ungrouped differs on the four long paths.
+	grouped := []string{
+		"v1/0 0x1.fp+07 0x1.4p+05 0x0p+00 1 4",
+		"v2/0 0x1.fp+07 0x1.4p+05 0x0p+00 1 4",
+		"v3/0 0x1.fp+07 0x1.4p+05 0x0p+00 1 4",
+		"v4/0 0x1.fp+07 0x1.4p+05 0x0p+00 1 4",
+		"v5/0 0x1.cp+06 0x1.4p+05 0x0p+00 1 1",
+	}
+	ungrouped := []string{
+		"v1/0 0x1.2p+08 0x1.4p+05 0x0p+00 1 4",
+		"v2/0 0x1.2p+08 0x1.4p+05 0x0p+00 1 4",
+		"v3/0 0x1.2p+08 0x1.4p+05 0x0p+00 1 4",
+		"v4/0 0x1.2p+08 0x1.4p+05 0x0p+00 1 4",
+		"v5/0 0x1.cp+06 0x1.4p+05 0x0p+00 1 1",
+	}
+	fig2Cases := []struct {
+		name string
+		opts afdx.TrajectoryOptions
+		want []string
+	}{
+		{"grouped", afdx.TrajectoryOptions{Grouping: true}, grouped},
+		{"ungrouped", afdx.TrajectoryOptions{}, ungrouped},
+		{"prefixtraj", afdx.TrajectoryOptions{Grouping: true, PrefixMode: 1 /* PrefixTrajectory */}, grouped},
+		{"shared", afdx.TrajectoryOptions{Grouping: true, SharedTransition: true}, grouped},
+		{"deltafirst", afdx.TrajectoryOptions{Grouping: true, DeltaAtFirstNode: true}, grouped},
+	}
+	for _, tc := range fig2Cases {
+		for _, workers := range []int{1, 8} {
+			opts := tc.opts
+			opts.Parallel = workers
+			res, err := afdx.AnalyzeTrajectory(fig2, opts)
+			if err != nil {
+				t.Fatalf("fig2-%s: %v", tc.name, err)
+			}
+			lines := renderTrajectoryLines(res)
+			if len(lines) != len(tc.want) {
+				t.Fatalf("fig2-%s (workers=%d): %d paths, want %d", tc.name, workers, len(lines), len(tc.want))
+			}
+			for i := range lines {
+				if lines[i] != tc.want[i] {
+					t.Errorf("fig2-%s (workers=%d): line %d drifted from the pinned seed value:\n  got  %s\n  want %s",
+						tc.name, workers, i, lines[i], tc.want[i])
+				}
+			}
+		}
+	}
+
+	spec := afdx.DefaultGeneratorSpec(1)
+	spec.NumVLs = 120
+	net, err := afdx.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallCases := []struct {
+		name string
+		opts afdx.TrajectoryOptions
+		want uint64
+	}{
+		{"small-industrial", afdx.TrajectoryOptions{Grouping: true}, 0xff3a4dc8346ecddf},
+		{"small-industrial-ungrouped", afdx.TrajectoryOptions{}, 0xe6c74fa34c36a151},
+	}
+	for _, tc := range smallCases {
+		for _, workers := range []int{1, 8} {
+			opts := tc.opts
+			opts.Parallel = workers
+			res, err := afdx.AnalyzeTrajectory(pg, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			h := fnv.New64a()
+			for _, line := range renderTrajectoryLines(res) {
+				h.Write([]byte(line))
+				h.Write([]byte("\n"))
+			}
+			if got := h.Sum64(); got != tc.want {
+				t.Errorf("%s (workers=%d): digest %#x drifted from the pinned seed digest %#x over %d paths",
+					tc.name, workers, got, tc.want, len(res.PathDelays))
+			}
+		}
+	}
 }

@@ -116,6 +116,12 @@ type PortGraph struct {
 	// graph is immutable once built.
 	ranksOnce sync.Once
 	ranks     [][]PortID
+
+	// vlOrd memoizes VLOrder/VLOrdinal: the dense, ID-sorted VL index
+	// the flattened engine hot paths use in place of string-keyed maps.
+	vlOrdOnce sync.Once
+	vlOrder   []*VirtualLink
+	vlOrd     map[string]int
 }
 
 // BuildPortGraph derives the port-level view of the network. It returns
@@ -207,6 +213,37 @@ func (pg *PortGraph) PathPorts(id PathID) []PortID { return pg.paths[id] }
 // Network.VL this is a constant-time lookup against the index frozen
 // at graph-build time.
 func (pg *PortGraph) VL(id string) *VirtualLink { return pg.vls[id] }
+
+// VLOrder returns the network's VLs sorted by ID (memoized). The slice
+// index is the VL's dense ordinal: engines that replace string-keyed
+// map lookups with array indexing in their hot loops key those arrays
+// by this ordinal, and because the order is the ID sort every analysis
+// already iterates in, sorting by ordinal is sorting by VL ID.
+func (pg *PortGraph) VLOrder() []*VirtualLink {
+	pg.buildVLOrd()
+	return pg.vlOrder
+}
+
+// VLOrdinal returns the dense index of the VL in VLOrder, or -1 when
+// the ID names no VL of the network.
+func (pg *PortGraph) VLOrdinal(id string) int {
+	pg.buildVLOrd()
+	if i, ok := pg.vlOrd[id]; ok {
+		return i
+	}
+	return -1
+}
+
+func (pg *PortGraph) buildVLOrd() {
+	pg.vlOrdOnce.Do(func() {
+		pg.vlOrder = append([]*VirtualLink(nil), pg.Net.VLs...)
+		slices.SortFunc(pg.vlOrder, func(a, b *VirtualLink) int { return strings.Compare(a.ID, b.ID) })
+		pg.vlOrd = make(map[string]int, len(pg.vlOrder))
+		for i, v := range pg.vlOrder {
+			pg.vlOrd[v.ID] = i
+		}
+	})
+}
 
 // topoOrder computes a deterministic topological order of the port
 // dependency graph (port q feeds port p when some VL crosses q then p).

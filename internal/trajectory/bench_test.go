@@ -1,0 +1,53 @@
+package trajectory
+
+import (
+	"context"
+	"testing"
+
+	"afdx/internal/afdx"
+	"afdx/internal/configgen"
+)
+
+// The PR 7 benchmark pair: the industrial configuration analysed by the
+// reference (pre-flattening) engine — Cold — and by the flat hot path —
+// Fast. Both produce bit-identical results (see flat_test.go), so the
+// recorded ratio is pure hot-loop wall time; `make bench-pr7` turns the
+// pair into the BENCH_PR7.json speedup record.
+
+func industrialPG(b *testing.B) *afdx.PortGraph {
+	b.Helper()
+	net, err := configgen.Generate(configgen.DefaultSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pg
+}
+
+func benchIndustrial(b *testing.B, workers int, reference bool) {
+	pg := industrialPG(b)
+	opts := DefaultOptions()
+	opts.Parallel = workers
+	run := AnalyzeCtx
+	if reference {
+		run = analyzeReference
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(context.Background(), pg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.PathDelays) == 0 {
+			b.Fatal("no paths analysed")
+		}
+	}
+}
+
+func BenchmarkTrajectoryIndustrialSeqCold(b *testing.B) { benchIndustrial(b, 1, true) }
+func BenchmarkTrajectoryIndustrialSeqFast(b *testing.B) { benchIndustrial(b, 1, false) }
+func BenchmarkTrajectoryIndustrialParCold(b *testing.B) { benchIndustrial(b, 0, true) }
+func BenchmarkTrajectoryIndustrialParFast(b *testing.B) { benchIndustrial(b, 0, false) }

@@ -1,0 +1,18 @@
+//go:build !race
+
+package trajectory
+
+import "testing"
+
+// TestFlatMatchesReferenceConfiggenFull is the full 100-seed
+// differential sweep of the flat hot path against the reference engine
+// (grouped and ungrouped, workers 1 and N, bit-identical PathDetails).
+// It runs the reference engine 400 times, so like the full-size
+// determinism tests it is compiled out under the race detector; the
+// race-instrumented tier keeps the 10-seed slice in flat_test.go.
+func TestFlatMatchesReferenceConfiggenFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential sweep skipped in -short mode")
+	}
+	testConfiggenSeeds(t, 11, 100)
+}

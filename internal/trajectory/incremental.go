@@ -232,6 +232,11 @@ func AnalyzeWithCacheCtx(ctx context.Context, pg *afdx.PortGraph, opts Options, 
 		return nil, fmt.Errorf("trajectory: computing NC prefix bounds: %w", err)
 	}
 	a.ncPrefix = nc.PrefixDelays
+	// The flat hot-path index reads the prefix bounds at build time, so
+	// it is prepared only now that the cached NC run has supplied them.
+	if err := a.prepare(); err != nil {
+		return nil, err
+	}
 
 	// Advance the run counter and record which dependencies changed
 	// since the previous run. Entries for ports or keys absent from the

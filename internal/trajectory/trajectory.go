@@ -211,15 +211,31 @@ type analyzer struct {
 	// trajPrefix caches recursive prefix response times
 	// (PrefixTrajectory mode).
 	trajPrefix prefixCache
+	// reference forces the pre-flattening hot path (reference.go) —
+	// the anchor the flattened engine is differentially tested and
+	// benchmarked against. Never set on production entry points.
+	reference bool
+	// flat is the dense per-run index the flattened hot path runs on
+	// (flat.go). Built by prepare after the prefix bounds are known;
+	// nil only on reference analyzers.
+	flat *flatIndex
 }
 
 // newAnalyzer validates the configuration for trajectory analysis and
-// prepares the shared state (prefix bounds).
+// prepares the shared state (prefix bounds, flat hot-path index).
 func newAnalyzer(ctx context.Context, pg *afdx.PortGraph, opts Options) (*analyzer, error) {
+	return newAnalyzerWith(ctx, pg, opts, false)
+}
+
+// newAnalyzerWith is newAnalyzer with an engine selector: reference
+// analyzers skip the flat index and run the pre-flattening hot path
+// (differential tests and benchmarks only).
+func newAnalyzerWith(ctx context.Context, pg *afdx.PortGraph, opts Options, reference bool) (*analyzer, error) {
 	a, err := newAnalyzerShell(ctx, pg, opts)
 	if err != nil {
 		return nil, err
 	}
+	a.reference = reference
 	if opts.PrefixMode == PrefixNC {
 		ncOpts := netcalc.DefaultOptions()
 		ncOpts.Parallel = opts.Parallel
@@ -228,6 +244,9 @@ func newAnalyzer(ctx context.Context, pg *afdx.PortGraph, opts Options) (*analyz
 			return nil, fmt.Errorf("trajectory: computing NC prefix bounds: %w", err)
 		}
 		a.ncPrefix = nc.PrefixDelays
+	}
+	if err := a.prepare(); err != nil {
+		return nil, err
 	}
 	return a, nil
 }
@@ -344,28 +363,22 @@ func (a *analyzer) analyzePath(ctx context.Context, pid afdx.PathID) (PathDetail
 // visiting is the per-goroutine set of (VL, port) prefix computations on
 // the current recursion chain (PrefixTrajectory cycle detection); nil at
 // a recursion root.
+//
+// The work is dispatched to the flattened hot path (flat.go) unless the
+// analyzer was built as a reference anchor; both produce bit-identical
+// PathDetails (proven by the differential property tests in
+// flat_test.go), so the choice is invisible to callers.
 func (a *analyzer) analyzePortSeq(ctx context.Context, vl *afdx.VirtualLink, ports []afdx.PortID, visiting map[netcalc.FlowPortKey]bool) (PathDetail, error) {
-	if err := ctx.Err(); err != nil {
-		return PathDetail{}, fmt.Errorf("trajectory: analysis cancelled: %w", err)
+	if a.reference {
+		return a.analyzePortSeqRef(ctx, vl, ports, visiting)
 	}
-	// Deterministic counters cover the top-level work set only
-	// (visiting == nil): recursive prefix analyses flow through the
-	// contended cache and may be duplicated under parallel schedules.
-	topLevel := visiting == nil
-	inter, err := a.interferenceSet(ctx, vl, ports, visiting)
-	if err != nil {
-		return PathDetail{}, err
-	}
-	if topLevel {
-		a.m.interferers.Observe(int64(len(inter)))
-	}
+	return a.analyzePortSeqFlat(ctx, vl, ports, visiting)
+}
 
-	// Constant terms: technological latencies and the transition
-	// ("counted twice") packets.
-	lSum := 0.0
-	for _, h := range ports {
-		lSum += a.pg.Ports[h].LatencyUs
-	}
+// transitionSum bounds the transition ("counted twice") packets of a
+// port sequence: one largest-frame term per transition, attributed per
+// Options (receiving node, departing node, or shared-flows refinement).
+func (a *analyzer) transitionSum(ports []afdx.PortID) float64 {
 	deltaSum := 0.0
 	if a.opts.SharedTransition {
 		// The bridging packet of transition h_k -> h_{k+1} crosses both
@@ -382,106 +395,7 @@ func (a *analyzer) analyzePortSeq(ctx context.Context, vl *afdx.VirtualLink, por
 			deltaSum += a.maxFrameTimeAt(ports[k])
 		}
 	}
-
-	busy, rounds, err := a.sourceBusyPeriod(ctx, vl, ports[0], inter)
-	if err != nil {
-		return PathDetail{}, err
-	}
-	if topLevel {
-		a.m.busyFixes.Inc()
-		a.m.busyIters.Add(int64(rounds))
-		a.m.busyRounds.Observe(int64(rounds))
-	}
-
-	cands, err := candidateOffsets(ctx, inter, busy)
-	if err != nil {
-		return PathDetail{}, err
-	}
-	if topLevel {
-		a.m.candidates.Add(int64(len(cands)))
-	}
-	best, bestT := math.Inf(-1), 0.0
-	for i, t := range cands {
-		// Candidate sets grow with busy period / BAG ratios; poll for
-		// cancellation without paying a context lookup per offset.
-		if i&1023 == 1023 {
-			if err := ctx.Err(); err != nil {
-				return PathDetail{}, fmt.Errorf("trajectory: candidate evaluation cancelled: %w", err)
-			}
-		}
-		v := a.interferenceAt(inter, t) + deltaSum + lSum - t
-		if v > best {
-			best, bestT = v, t
-		}
-	}
-	return PathDetail{
-		DelayUs:        best,
-		BusyPeriodUs:   busy,
-		CriticalT:      bestT,
-		NumCandidates:  len(cands),
-		NumInterferers: len(inter),
-	}, nil
-}
-
-// interferenceSet builds the interferer list of a path: every VL sharing
-// at least one of its ports (including the analyzed VL itself), with the
-// first shared port, the input link there, and the window alignment A_ij.
-func (a *analyzer) interferenceSet(ctx context.Context, vl *afdx.VirtualLink, ports []afdx.PortID, visiting map[netcalc.FlowPortKey]bool) ([]interferer, error) {
-	// Minimum arrival times of the analyzed flow at each of its ports
-	// (per-port rates: real configurations mix link speeds).
-	sMin := make(map[afdx.PortID]float64, len(ports))
-	acc := 0.0
-	for _, h := range ports {
-		sMin[h] = acc
-		acc += vl.CMinUs(a.pg.Ports[h].RateBitsPerUs) + a.pg.Ports[h].LatencyUs
-	}
-	var inter []interferer
-	idx := map[string]int{}
-	// NC prefix-table hits are counted locally and flushed in one Add:
-	// a per-lookup atomic increment from every worker contends on one
-	// cache line and alone blows the instrumentation overhead budget.
-	ncLookups := int64(0)
-	for _, h := range ports {
-		port := a.pg.Ports[h]
-		for _, f := range port.Flows {
-			c := f.VL.CMaxUs(port.RateBitsPerUs)
-			if i, ok := idx[f.VL.ID]; ok {
-				// Conservative with heterogeneous rates: charge the
-				// flow's largest transmission time over the shared ports.
-				if c > inter[i].cUs {
-					inter[i].cUs = c
-				}
-				continue
-			}
-			sMaxJ, err := a.sMax(ctx, f.VL, h, visiting)
-			if err != nil {
-				return nil, err
-			}
-			if a.opts.PrefixMode == PrefixNC {
-				ncLookups++
-			}
-			ratio := 1.0
-			if f.Prev != "" {
-				if in := a.pg.Ports[afdx.PortID{From: f.Prev, To: h.From}]; in != nil {
-					ratio = in.RateBitsPerUs / port.RateBitsPerUs
-				}
-			}
-			idx[f.VL.ID] = len(inter)
-			inter = append(inter, interferer{
-				vl:       f.VL,
-				first:    h,
-				prev:     f.Prev,
-				cUs:      c,
-				aUs:      sMaxJ - sMin[h],
-				serRatio: ratio,
-			})
-		}
-	}
-	if ncLookups > 0 {
-		a.m.ncHits.Add(ncLookups)
-	}
-	sort.Slice(inter, func(i, j int) bool { return inter[i].vl.ID < inter[j].vl.ID })
-	return inter, nil
+	return deltaSum
 }
 
 // sMax bounds the latest arrival time of a frame of vl at the given port,
@@ -510,7 +424,14 @@ func (a *analyzer) sMax(ctx context.Context, vl *afdx.VirtualLink, port afdx.Por
 	if visiting[key] {
 		return 0, fmt.Errorf("trajectory: cyclic prefix dependency at VL %s port %s", vl.ID, port)
 	}
-	prefix := a.prefixPorts(vl, port)
+	prefix, onPath := a.prefixPorts(vl, port)
+	if !onPath {
+		// A flow is only ever queried at ports it crosses (it came out
+		// of that port's flow list); reaching this is an engine bug, and
+		// absorbing it as a zero prefix bound would silently turn the
+		// bug into an optimistic S_max.
+		return 0, fmt.Errorf("trajectory: internal error: VL %s does not cross port %s (S_max queried off-path)", vl.ID, port)
+	}
 	if len(prefix) == 0 {
 		a.trajPrefix.put(key, 0)
 		return 0, nil
@@ -530,21 +451,31 @@ func (a *analyzer) sMax(ctx context.Context, vl *afdx.VirtualLink, port afdx.Por
 
 // prefixPorts returns the ports a VL crosses strictly before the given
 // port (on whichever of its paths contains that port; tree routing makes
-// the prefix unique).
-func (a *analyzer) prefixPorts(vl *afdx.VirtualLink, port afdx.PortID) []afdx.PortID {
+// the prefix unique). The second result distinguishes "port is the VL's
+// source hop" (empty prefix, true) from "the VL never crosses this port
+// at all" (false) — the two used to collapse into the same nil return,
+// letting a caller bug read an off-path query as a zero prefix bound.
+func (a *analyzer) prefixPorts(vl *afdx.VirtualLink, port afdx.PortID) ([]afdx.PortID, bool) {
 	for pi := range vl.Paths {
 		seq := a.pg.PathPorts(afdx.PathID{VL: vl.ID, PathIdx: pi})
 		for k, h := range seq {
 			if h == port {
-				return seq[:k]
+				return seq[:k], true
 			}
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // maxFrameTimeAt returns max_j C_j over the flows crossing a port.
+// With the flat index built, the max is precomputed (flow-order max
+// accumulation, so the value is the bitwise same float either way).
 func (a *analyzer) maxFrameTimeAt(id afdx.PortID) float64 {
+	if a.flat != nil {
+		if fp := a.flat.ports[id]; fp != nil {
+			return fp.maxC
+		}
+	}
 	p := a.pg.Ports[id]
 	m := 0.0
 	for _, f := range p.Flows {
@@ -573,44 +504,18 @@ func (a *analyzer) maxSharedFrameTime(prev, next afdx.PortID) float64 {
 	return m
 }
 
-// sourceBusyPeriod bounds the length of the busy period of the analyzed
-// flow's source port (the range of the emission offset t) as the least
-// fixpoint of the port's workload function.
+// busyFixpoint iterates a port workload function to its least fixpoint.
+// It is the shared core of the reference sourceBusyPeriod and the flat
+// engine's memoized busy periods: both hand it the same scalars
+// (sumC = w(0) envelope burst, minC = smallest frame, util = port
+// utilization, all accumulated in the port's flow order), so both
+// converge to bit-identical values in the same number of rounds.
 //
-// Feasibility is decided up front by remaining-capacity math: the
-// workload is bounded by the linear envelope w(b) <= sumC + U*b with
-// U the port utilization, so for U < 1 the least fixpoint sits below
-// sumC/(1-U), while U >= 1 has no fixpoint at all and fails
-// immediately (no iteration budget is burned discovering divergence).
-// The fixpoint iteration itself is exact — it returns the same least
-// fixpoint as a step-by-step scan — and terminates within the frame
-// capacity of that bound: every non-final round queues at least one
-// more whole frame, so rounds are capped by (bMax - w(0)) / minC.
-//
-// The second return value is the number of fixpoint rounds performed —
-// the per-path iteration cost surfaced by the observability layer.
-func (a *analyzer) sourceBusyPeriod(ctx context.Context, vl *afdx.VirtualLink, src afdx.PortID, inter []interferer) (float64, int, error) {
-	port := a.pg.Ports[src]
-	sumC, minC, util := 0.0, math.Inf(1), 0.0
-	for _, f := range port.Flows {
-		c := f.VL.CMaxUs(port.RateBitsPerUs)
-		sumC += c
-		if c < minC {
-			minC = c
-		}
-		util += c / f.VL.BAGUs()
-	}
-	//detcheck:allow DET004: dimensionless utilization guard, scale-free by construction
-	if util >= 1-1e-12 {
-		return 0, 0, fmt.Errorf("trajectory: busy period of port %s does not converge (port utilization %.9g >= 1)", src, util)
-	}
-	work := func(b float64) float64 {
-		w := 0.0
-		for _, f := range port.Flows {
-			w += float64(frameCount(b, f.VL.BAGUs())) * f.VL.CMaxUs(port.RateBitsPerUs)
-		}
-		return w
-	}
+// The caller has already rejected util >= 1; under util < 1 the least
+// fixpoint sits below the remaining-capacity bound bMax = sumC/(1-util),
+// and every non-final round queues at least one more whole frame, so
+// rounds are capped by (bMax - w(0)) / minC.
+func busyFixpoint(ctx context.Context, src afdx.PortID, work func(float64) float64, sumC, minC, util float64) (float64, int, error) {
 	b := work(0)
 	bMax := sumC / (1 - util)
 	maxIter := int((bMax-b)/minC) + 2
@@ -657,7 +562,18 @@ func candidateOffsets(ctx context.Context, inter []interferer, busy float64) ([]
 	cands := []float64{0}
 	for _, it := range inter {
 		T := it.vl.BAGUs()
-		start := math.Ceil((0-it.aUs)/T - tol.At(it.aUs/T))
+		// Step points t = k*T - A_ij need t > 0, i.e. k > A_ij/T, and
+		// k >= 1 (N_j only jumps at whole windows). The tolerance is in
+		// the k domain — relative to the ratio being rounded — so an
+		// A_ij sitting a rounding error above an exact multiple of T
+		// still starts at that multiple (the t > tol.At(t) filter below
+		// then discards the t = 0 duplicate). The pre-fix code negated
+		// the ratio (ceil(-A_ij/T)), which collapsed to the k = 1 clamp
+		// for every positive A_ij — accidentally correct — but for
+		// A_ij <= -T it started at ceil(|A_ij|/T), silently skipping
+		// the first valid step points of early-arriving interferers and
+		// with them, potentially, the busy-period maximum.
+		start := math.Ceil(it.aUs/T - tol.At(it.aUs/T))
 		if start < 1 {
 			start = 1
 		}
@@ -685,88 +601,4 @@ func candidateOffsets(ctx context.Context, inter []interferer, busy float64) ([]
 		}
 	}
 	return out, nil
-}
-
-// interferenceAt evaluates the interference term at offset t, applying
-// the serialization cap per (first port, input link) group when grouping
-// is enabled.
-func (a *analyzer) interferenceAt(inter []interferer, t float64) float64 {
-	if !a.opts.Grouping {
-		sum := 0.0
-		for _, it := range inter {
-			sum += float64(frameCount(t+it.aUs, it.vl.BAGUs())) * it.cUs
-		}
-		return sum
-	}
-	type groupKey struct {
-		port afdx.PortID
-		prev string
-	}
-	groups := map[groupKey][]interferer{}
-	for _, it := range inter {
-		groups[groupKey{it.first, it.prev}] = append(groups[groupKey{it.first, it.prev}], it)
-	}
-	// Deterministic iteration order for float accumulation stability.
-	keys := make([]groupKey, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].port != keys[j].port {
-			return keys[i].port.String() < keys[j].port.String()
-		}
-		return keys[i].prev < keys[j].prev
-	})
-	sum := 0.0
-	for _, k := range keys {
-		sum += a.groupContribution(groups[k], t, k.prev != "" || len(groups[k]) > 1)
-	}
-	return sum
-}
-
-// groupContribution bounds the workload of one serialization group at
-// offset t. The first frame of each counted member arrives through the
-// shared input link, so the group's first frames arrive back-to-back at
-// best and their joint burst cannot exceed the largest member frame plus
-// what the link carries during the emission offset window; subsequent
-// frames (N_j > 1) are counted in full.
-//
-// This is the leaky-bucket shaping of the paper's grouping technique
-// (burst = largest frame of the group, rate = source link rate), exactly
-// as the paper's Figure 4 scenario constructs it. Note that, like the
-// published method, the cap ignores the upstream jitter spread between
-// group members — a simplification later shown to make the enhanced
-// trajectory approach slightly optimistic in corner cases (see
-// DESIGN.md, "Known optimism of the grouped trajectory approach").
-func (a *analyzer) groupContribution(group []interferer, t float64, serialized bool) float64 {
-	full := 0.0
-	firsts := 0.0
-	maxC := 0.0
-	ratio := 1.0
-	for _, it := range group {
-		n := frameCount(t+it.aUs, it.vl.BAGUs())
-		if n == 0 {
-			continue
-		}
-		full += float64(n-1) * it.cUs
-		firsts += it.cUs
-		if it.cUs > maxC {
-			maxC = it.cUs
-		}
-		ratio = it.serRatio // identical across the group (same input link)
-	}
-	if firsts == 0 {
-		return 0
-	}
-	if !serialized {
-		return full + firsts
-	}
-	// The group's first frames arrive serialized on the input link: one
-	// largest frame plus what the link carries over the offset window,
-	// expressed in output transmission time (ratio = R_in / R_out).
-	capTime := maxC + t*ratio
-	if capTime < firsts {
-		firsts = capTime
-	}
-	return full + firsts
 }
