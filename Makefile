@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the expanded verification
 # gate (build, gofmt, vet, tests, race detector); see check.sh.
 
-.PHONY: build test check lint vet-tool fmt bench bench-pr3 bench-pr4 bench-pr5 bench-pr7 profile conformance fuzz-smoke
+.PHONY: build test check lint vet-tool fmt bench bench-pr3 bench-pr4 bench-pr5 bench-pr7 bench-pr8 serve profile conformance fuzz-smoke
 
 build:
 	go build ./...
@@ -61,6 +61,21 @@ bench-pr5:
 bench-pr7:
 	go test -run '^$$' -bench 'TrajectoryIndustrial(Seq|Par)(Cold|Fast)$$' -benchtime 2x -count 3 ./internal/trajectory \
 		| tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR7.json
+
+# Time one interactive what-if question answered cold (full re-analysis
+# of the mutated industrial configuration, CLI-style) and through a warm
+# afdx-serve session over real HTTP, wire round-trip included. The
+# served-conformance tier proves both compute bit-identical bounds, so
+# the recorded speedup is the latency the daemon saves an exploration
+# loop; pairs use the fastest of 3 samples.
+bench-pr8:
+	go test -run '^$$' -bench 'ServeWhatIf(Cold|Served)$$' -benchtime 3x -count 3 ./internal/serve \
+		| tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR8.json
+
+# Start the analysis daemon on the default loopback port (see README
+# "Serving" for the curl walkthrough; Ctrl-C drains gracefully).
+serve:
+	go run ./cmd/afdx-serve -addr 127.0.0.1:8723
 
 # Measure the observability layer itself: per-engine instrumented/plain
 # wall-time ratio (median over interleaved rounds; budget <= 5%) plus

@@ -19,10 +19,15 @@
 #   9. flat hot-path smoke   (a third campaign on yet another seed,
 #                             cross-checking the flattened trajectory
 #                             hot path against the oracle's invariants)
-#  10. traced conformance    (same campaign with metrics + tracing on:
+#  10. served conformance    (afdx-serve -selfcheck: a seeded 20-delta
+#                             script replayed through a live daemon over
+#                             HTTP, every answer re-derived from cold
+#                             engine runs, zero mismatches required;
+#                             plus a -served oracle campaign slice)
+#  11. traced conformance    (same campaign with metrics + tracing on:
 #                             verdicts must be identical — observability
 #                             never participates in the computation)
-#  11. fuzz smoke            (each native fuzz target for a few seconds)
+#  12. fuzz smoke            (each native fuzz target for a few seconds)
 #
 # Usage: ./check.sh        (or: make check)
 set -eu
@@ -80,12 +85,31 @@ echo "== flat hot-path smoke (30-config conformance slice)"
 # surfaces here even if the unit corpus misses it.
 go run ./cmd/afdx-conformance -n 30 -seed 11 -quiet
 
+echo "== served conformance (daemon vs cold bit-identity)"
+# The serving smoke: generate a mid-size configuration, start afdx-serve
+# on a loopback port, replay a seeded 20-delta script (peeks and
+# commits) over real HTTP, and re-derive every served answer from cold
+# engine runs at worker counts 1 and N. Any bound differing bitwise
+# from its cold anchor fails the gate. A short -served oracle campaign
+# then repeats the contract across a configuration family.
+servedir=$(mktemp -d)
+trap 'rm -rf "$servedir"' EXIT
+go run ./cmd/afdx-gen -seed 7 -quiet > "$servedir/net.json"
+go run ./cmd/afdx-serve -selfcheck -config "$servedir/net.json" \
+	-replay-seed 13 -replay-steps 20 > "$servedir/selfcheck.json"
+if ! grep -q '"mismatches": 0' "$servedir/selfcheck.json"; then
+	echo "check.sh: served bounds diverged from cold anchors:" >&2
+	cat "$servedir/selfcheck.json" >&2
+	exit 1
+fi
+go run ./cmd/afdx-conformance -n 10 -seed 13 -served -quiet
+
 echo "== traced conformance (observability non-interference)"
 # Run the same 50-config campaign plain and with the full observability
 # stack attached; after stripping the wall-time fields the JSON reports
 # must be byte-identical and report zero violations.
 obsdir=$(mktemp -d)
-trap 'rm -rf "$obsdir"' EXIT
+trap 'rm -rf "$obsdir" "$servedir"' EXIT
 go run ./cmd/afdx-conformance -n 50 -seed 7 -json -quiet > "$obsdir/plain.json"
 go run ./cmd/afdx-conformance -n 50 -seed 7 -json -quiet \
 	-metrics "$obsdir/metrics.json" -tracefile "$obsdir/trace.json" > "$obsdir/traced.json"

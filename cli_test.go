@@ -5,15 +5,20 @@ package afdx_test
 // combinations against a real configuration file.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"afdx"
 )
@@ -22,7 +27,7 @@ var (
 	cliOnce  sync.Once
 	cliDir   string
 	cliErr   error
-	cliTools = []string{"afdx-gen", "afdx-lint", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact", "afdx-conformance", "afdx-benchjson", "afdx-vet"}
+	cliTools = []string{"afdx-gen", "afdx-lint", "afdx-bounds", "afdx-sim", "afdx-experiments", "afdx-exact", "afdx-conformance", "afdx-benchjson", "afdx-vet", "afdx-serve"}
 )
 
 // buildCLIs compiles every command once per test binary invocation.
@@ -552,6 +557,178 @@ func TestCLIVetUsageErrors(t *testing.T) {
 		out, _ := cmd.CombinedOutput()
 		if code := cmd.ProcessState.ExitCode(); code != 2 {
 			t.Errorf("afdx-vet %v: exit %d, want 2\n%s", args, code, out)
+		}
+	}
+}
+
+// startServeDaemon launches afdx-serve on an ephemeral port, consumes
+// the stdout readiness line, and returns the running process, the base
+// URL, a function yielding the REST of stdout (which the purity
+// contract says must stay empty; call it only after Wait — it blocks
+// until the pipe drains), and the stderr buffer. The caller signals
+// and Waits; a watchdog kills a hung daemon after 30s.
+func startServeDaemon(t *testing.T, dir string, args ...string) (*exec.Cmd, string, func() string, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, "afdx-serve"), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	var restOut, stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	watchdog := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	t.Cleanup(func() {
+		watchdog.Stop()
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	rd := bufio.NewReader(pipe)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("no readiness line on stdout: %v\nstderr:\n%s", err, stderr.String())
+	}
+	var ready struct {
+		Listening   string `json:"listening"`
+		PID         int    `json:"pid"`
+		MaxSessions int    `json:"maxSessions"`
+	}
+	if err := json.Unmarshal([]byte(line), &ready); err != nil {
+		t.Fatalf("readiness line is not JSON: %v\n%s", err, line)
+	}
+	if ready.Listening == "" || ready.PID != cmd.Process.Pid {
+		t.Fatalf("malformed readiness line: %s", line)
+	}
+	copied := make(chan struct{})
+	go func() {
+		defer close(copied)
+		io.Copy(&restOut, rd) //nolint:errcheck // EOF at process exit
+	}()
+	rest := func() string {
+		<-copied
+		return restOut.String()
+	}
+	return cmd, "http://" + ready.Listening, rest, &stderr
+}
+
+// TestCLIServeDaemon drives the daemon end to end: ephemeral-port
+// startup with a JSON readiness line, a real upload + what-if round
+// trip over HTTP, a graceful SIGTERM drain exiting 0, and the stdout
+// purity contract (the readiness line is the only stdout output).
+func TestCLIServeDaemon(t *testing.T) {
+	dir := buildCLIs(t)
+	cmd, base, restOut, stderr := startServeDaemon(t, dir)
+
+	cfg, err := json.Marshal(afdx.Figure2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(cfg))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: HTTP %d, want 201\n%s", resp.StatusCode, body)
+	}
+	var opened struct {
+		Session string `json:"session"`
+		Paths   []struct {
+			Path   string  `json:"path"`
+			BestUs float64 `json:"bestUs"`
+		} `json:"paths"`
+	}
+	if err := json.Unmarshal(body, &opened); err != nil {
+		t.Fatalf("upload response is not JSON: %v\n%s", err, body)
+	}
+	if opened.Session == "" || len(opened.Paths) == 0 {
+		t.Fatalf("upload response missing session or bounds:\n%s", body)
+	}
+
+	// A what-if on the live session answers with re-analysed bounds.
+	resp, err = http.Post(base+"/v1/sessions/"+opened.Session+"/whatif",
+		"application/json", strings.NewReader(`{"deltas": ["bag v1 8"]}`))
+	if err != nil {
+		t.Fatalf("whatif: %v", err)
+	}
+	wbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("whatif: HTTP %d, want 200\n%s", resp.StatusCode, wbody)
+	}
+	if !strings.Contains(string(wbody), `"paths"`) {
+		t.Fatalf("whatif response missing bounds:\n%s", wbody)
+	}
+
+	// Errors arrive as diag-style JSON, not HTML.
+	resp, err = http.Post(base+"/v1/sessions", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(ebody), "SRV001") {
+		t.Errorf("malformed upload: HTTP %d body %s, want 400 with SRV001", resp.StatusCode, ebody)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v (want 0)\nstderr:\n%s", err, stderr.String())
+	}
+	if got := restOut(); got != "" {
+		t.Errorf("stdout carried more than the readiness line:\n%s", got)
+	}
+	for _, frag := range []string{"serving on", "draining", "stopped"} {
+		if !strings.Contains(stderr.String(), frag) {
+			t.Errorf("stderr log missing %q:\n%s", frag, stderr.String())
+		}
+	}
+}
+
+// TestCLIServeSelfcheck runs the served-conformance smoke the way
+// check.sh does: a seeded script against a loopback daemon, every
+// answer re-derived cold, zero mismatches, pure-JSON stdout.
+func TestCLIServeSelfcheck(t *testing.T) {
+	dir := buildCLIs(t)
+	cfg := sampleConfig(t)
+	out := runCLIStdout(t, dir, "afdx-serve", "-selfcheck", "-config", cfg,
+		"-replay-seed", "5", "-replay-steps", "6")
+	var rep struct {
+		Session    string `json:"session"`
+		Steps      int    `json:"steps"`
+		Workers    int    `json:"workers"`
+		Mismatches int    `json:"mismatches"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("selfcheck stdout is not pure JSON: %v\n%s", err, out)
+	}
+	if rep.Mismatches != 0 {
+		t.Errorf("selfcheck found %d mismatches:\n%s", rep.Mismatches, out)
+	}
+	if rep.Steps == 0 || rep.Session == "" || rep.Workers < 2 {
+		t.Errorf("malformed selfcheck report: %+v", rep)
+	}
+}
+
+// TestCLIServeUsageErrors pins exit 2 for flag and configuration
+// failures, before any socket is opened.
+func TestCLIServeUsageErrors(t *testing.T) {
+	dir := buildCLIs(t)
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"stray-positional"},
+		{"-selfcheck"},
+		{"-selfcheck", "-config", "/no/such/file.json"},
+	} {
+		cmd := exec.Command(filepath.Join(dir, "afdx-serve"), args...)
+		out, _ := cmd.CombinedOutput()
+		if code := cmd.ProcessState.ExitCode(); code != 2 {
+			t.Errorf("afdx-serve %v: exit %d, want 2\n%s", args, code, out)
 		}
 	}
 }

@@ -82,6 +82,20 @@ type FastPair struct {
 	GoMaxProcs int     `json:"gomaxprocs"`
 }
 
+// ServedPair is a Cold/Served benchmark couple: the same what-if
+// question answered by a cold CLI-style run (full analysis of the
+// mutated configuration) vs a warm afdx-serve session over HTTP
+// (wire round-trip included). The served-conformance tier pins both
+// bit-identical, so the speedup is the interactive-loop latency the
+// daemon saves.
+type ServedPair struct {
+	Base       string  `json:"benchmark"`
+	ColdNsOp   float64 `json:"cold_ns_per_op"`
+	ServedNsOp float64 `json:"served_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
 // EngineObs is one engine's -obs measurement on the industrial
 // configuration: wall time plain vs instrumented, the relative
 // overhead, and the full counter breakdown of the instrumented run.
@@ -106,15 +120,16 @@ type ObsReport struct {
 
 // Report is the emitted JSON document.
 type Report struct {
-	GoMaxProcs int        `json:"gomaxprocs"`
-	NumCPU     int        `json:"num_cpu"`
-	GoVersion  string     `json:"go_version"`
-	Rows       []Row      `json:"benchmarks"`
-	Pairs      []Pair     `json:"seq_par_pairs,omitempty"`
-	IncrPairs  []IncrPair `json:"cold_incr_pairs,omitempty"`
-	FastPairs  []FastPair `json:"cold_fast_pairs,omitempty"`
-	Obs        *ObsReport `json:"observability,omitempty"`
-	Note       string     `json:"note"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	GoVersion  string       `json:"go_version"`
+	Rows       []Row        `json:"benchmarks"`
+	Pairs      []Pair       `json:"seq_par_pairs,omitempty"`
+	IncrPairs  []IncrPair   `json:"cold_incr_pairs,omitempty"`
+	FastPairs  []FastPair   `json:"cold_fast_pairs,omitempty"`
+	ServedPrs  []ServedPair `json:"cold_served_pairs,omitempty"`
+	Obs        *ObsReport   `json:"observability,omitempty"`
+	Note       string       `json:"note"`
 }
 
 func main() {
@@ -141,6 +156,7 @@ func main() {
 		Pairs:      pair(rows),
 		IncrPairs:  pairIncr(rows),
 		FastPairs:  pairFast(rows),
+		ServedPrs:  pairServed(rows),
 		Note: "Seq = -parallel 1, Par = -parallel 0 (all CPUs). The engines' " +
 			"bit-reproducibility contract makes both variants compute identical " +
 			"bounds; speedup below ~1.5x on a multi-core runner is a regression, " +
@@ -350,6 +366,30 @@ func pairFast(rows []Row) []FastPair {
 		pairs = append(pairs, FastPair{
 			Base: base, ColdNsOp: cold, FastNsOp: fast,
 			Speedup:    cold / fast,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Base < pairs[j].Base })
+	return pairs
+}
+
+// pairServed matches FooCold/FooServed rows and computes the warm
+// daemon's speedup over a cold CLI-style run.
+func pairServed(rows []Row) []ServedPair {
+	byName := bestByName(rows)
+	var pairs []ServedPair
+	for name, cold := range byName {
+		base, ok := strings.CutSuffix(name, "Cold")
+		if !ok {
+			continue
+		}
+		served, ok := byName[base+"Served"]
+		if !ok || served == 0 {
+			continue
+		}
+		pairs = append(pairs, ServedPair{
+			Base: base, ColdNsOp: cold, ServedNsOp: served,
+			Speedup:    cold / served,
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 		})
 	}

@@ -61,6 +61,7 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress the per-violation lines (summary only)")
 		fault     = flag.String("fault", "", "inject an engine fault for oracle self-tests: nc-optimistic | traj-optimistic")
 		incr      = flag.Bool("incremental", true, "route the oracle's reference runs through the incremental caches and check the incremental-parity tier")
+		served    = flag.Bool("served", false, "also check the served-parity tier: replay a seeded delta script through a live afdx-serve instance and compare against cold runs")
 	)
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
@@ -85,9 +86,10 @@ func main() {
 		Budget:    *budget,
 		CorpusDir: *corpus,
 	}
-	if !*incr {
+	if !*incr || *served {
 		o := conformance.NewOracle()
-		o.Incremental = false
+		o.Incremental = *incr
+		o.Served = *served
 		opts.Oracle = o
 	}
 	switch *fault {

@@ -82,6 +82,12 @@ const (
 	// each delta of a tightening sequence is bit-identical to a cold
 	// recompute of the mutated configuration, at every worker count.
 	InvIncrementalParity Invariant = "incremental-parity"
+	// InvServedParity: the answers a live afdx-serve daemon returns over
+	// HTTP for a seeded upload + delta script — JSON round-trip, session
+	// manager and serialized executor included — are bit-identical to
+	// cold engine runs on the replayed configurations, at worker counts
+	// 1 and ParityWorkers.
+	InvServedParity Invariant = "served-parity"
 )
 
 // Violation is one failed invariant on one configuration.
@@ -151,6 +157,13 @@ type Oracle struct {
 	// cross-check and of the parity tier, and is reported as a
 	// violation.
 	Incremental bool
+	// Served enables the served-parity tier: a seeded delta script is
+	// played against an in-process afdx-serve instance over real HTTP
+	// and the recorded answers are re-derived cold. Off by default —
+	// each check spins up a server and re-analyses every round twice —
+	// and enabled by the campaign driver's -served flag and the serving
+	// layer's own conformance test.
+	Served bool
 	// pool persists incremental caches across CheckCtx calls; only the
 	// shrinker sets it (on its private oracle copy — a pool is
 	// single-writer, and campaigns check configurations in parallel
@@ -228,6 +241,7 @@ func (o *Oracle) CheckCtx(ctx context.Context, net *afdx.Network) ([]Violation, 
 	doBehaviour := want(InvSimVsNC, InvSimVsTrajectory, InvSimVsExact, InvExactVsBounds)
 	doMeta := !o.SkipMetamorphic && want(InvMonotoneBAG, InvMonotoneSMax)
 	doIncr := o.Incremental && !o.SkipMetamorphic && want(InvIncrementalParity)
+	doServed := o.Served && !o.SkipMetamorphic && want(InvServedParity)
 
 	// Sequential reference runs of the engine variants each selected
 	// tier reads. With Incremental set they route through the cache
@@ -343,6 +357,18 @@ func (o *Oracle) CheckCtx(ctx context.Context, net *afdx.Network) ([]Violation, 
 			return nil, err
 		}
 		vs = append(vs, ivs...)
+	}
+
+	// Served-parity tier: the same contract over the wire — a live
+	// afdx-serve instance answers a seeded delta script bit-identically
+	// to cold runs (skipped in the shrinker's inner loop for the same
+	// mutants-of-mutants reason as the tiers above).
+	if doServed {
+		svs, err := o.checkServed(ctx, net)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, svs...)
 	}
 
 	sort.Slice(vs, func(i, j int) bool {

@@ -2,6 +2,7 @@ package incremental
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"afdx/internal/afdx"
@@ -9,6 +10,20 @@ import (
 	"afdx/internal/netcalc"
 	"afdx/internal/trajectory"
 )
+
+// ErrClosed is returned by every Session method after Close.
+var ErrClosed = errors.New("incremental: session closed")
+
+// BadDeltaError marks a delta batch the session rejected — an unknown
+// VL, a malformed mutation, or a batch whose result fails validation.
+// The session is unchanged when it is returned. Transports use it to
+// separate client mistakes (a bad request) from analysis failures.
+type BadDeltaError struct{ Err error }
+
+func (e *BadDeltaError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *BadDeltaError) Unwrap() error { return e.Err }
 
 // Options configures a what-if Session: the validation mode used when a
 // delta batch is re-validated, and the engine option sets the cached
@@ -47,11 +62,12 @@ type Result struct {
 // still fan each individual analysis out, and results do not depend on
 // those values.
 type Session struct {
-	opts Options
-	net  *afdx.Network
-	pg   *afdx.PortGraph
-	nc   *netcalc.Cache
-	tr   *trajectory.Cache
+	opts   Options
+	net    *afdx.Network
+	pg     *afdx.PortGraph
+	nc     *netcalc.Cache
+	tr     *trajectory.Cache
+	closed bool
 }
 
 // NewSession clones net (later deltas never touch the caller's value),
@@ -81,7 +97,16 @@ func NewSession(net *afdx.Network, opts Options) (*Session, error) {
 
 // Network returns a clone of the session's current configuration (with
 // all applied deltas), e.g. for saving an accepted what-if scenario.
-func (s *Session) Network() *afdx.Network { return s.net.Clone() }
+// Nil after Close.
+func (s *Session) Network() *afdx.Network {
+	if s.closed {
+		return nil
+	}
+	return s.net.Clone()
+}
+
+// Options returns the option set the session was opened with.
+func (s *Session) Options() Options { return s.opts }
 
 // PortGraph returns the port-level view of the session's current
 // configuration (e.g. for rendering per-path floors alongside an
@@ -92,19 +117,35 @@ func (s *Session) PortGraph() *afdx.PortGraph { return s.pg }
 // Apply mutates the session's configuration by the given deltas, in
 // order, as one atomic batch: the batch is applied to a scratch clone
 // and re-validated, and only on success does the session swap to the
-// new configuration. On error the session is unchanged.
+// new configuration. On error the session is unchanged; every rejection
+// is reported as a *BadDeltaError.
 func (s *Session) Apply(deltas ...Delta) error {
+	if s.closed {
+		return ErrClosed
+	}
 	cand := s.net.Clone()
-	for _, d := range deltas {
-		if err := applyDelta(cand, d); err != nil {
-			return err
-		}
+	if err := Apply(cand, deltas...); err != nil {
+		return &BadDeltaError{Err: err}
 	}
 	pg, err := afdx.BuildPortGraph(cand, s.opts.Mode)
 	if err != nil {
-		return fmt.Errorf("incremental: delta batch rejected: %w", err)
+		return &BadDeltaError{Err: fmt.Errorf("incremental: delta batch rejected: %w", err)}
 	}
 	s.net, s.pg = cand, pg
+	return nil
+}
+
+// Apply mutates a network in place by the given deltas, in order,
+// without re-validating the result — the caller owns validation (the
+// Session method applies to a clone and rebuilds the port graph; cold
+// replay harnesses rebuild their own graph). On error the network may
+// be partially mutated; apply to a scratch clone when that matters.
+func Apply(n *afdx.Network, deltas ...Delta) error {
+	for _, d := range deltas {
+		if err := applyDelta(n, d); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -116,6 +157,9 @@ func (s *Session) Apply(deltas ...Delta) error {
 // the caches consistent — every stored entry is still keyed by its
 // exact inputs — so the session remains usable.
 func (s *Session) Analyze(ctx context.Context) (*Result, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
 	nc, err := netcalc.AnalyzeWithCacheCtx(ctx, s.pg, s.opts.NC, s.nc)
 	if err != nil {
 		return nil, fmt.Errorf("incremental: network calculus analysis: %w", err)
@@ -139,4 +183,36 @@ func (s *Session) WhatIf(ctx context.Context, deltas ...Delta) (*Result, error) 
 		return nil, err
 	}
 	return s.Analyze(ctx)
+}
+
+// Peek is WhatIf without the commit: the deltas are applied, the
+// mutated configuration analysed through the session's caches, and the
+// session's configuration restored — the next Analyze sees the state
+// from before the Peek. The caches keep both variants' entries (each
+// keyed by its exact inputs; the two-generation slots make the
+// apply/restore alternation cheap), so peeking never degrades later
+// rounds. The serving layer's /whatif endpoint is this call.
+func (s *Session) Peek(ctx context.Context, deltas ...Delta) (*Result, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	savedNet, savedPG := s.net, s.pg
+	if err := s.Apply(deltas...); err != nil {
+		return nil, err
+	}
+	res, err := s.Analyze(ctx)
+	s.net, s.pg = savedNet, savedPG
+	return res, err
+}
+
+// Close releases the session's configuration and both engine caches so
+// a long-lived owner (the serving layer's session pool) can return the
+// memory; every subsequent method reports ErrClosed. Close follows the
+// session's single-writer discipline — do not race it with Analyze —
+// and is idempotent. A new session over the same configuration starts
+// cold and, by the incremental contract, still computes bit-identical
+// bounds.
+func (s *Session) Close() {
+	s.closed = true
+	s.net, s.pg, s.nc, s.tr = nil, nil, nil, nil
 }

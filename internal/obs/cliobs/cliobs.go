@@ -98,6 +98,18 @@ func (f *Flags) Start() (*Session, error) {
 	return s, nil
 }
 
+// EnsureRegistry returns the session's registry, creating one when no
+// flag asked for it. Long-running commands whose metrics surface is
+// always on (afdx-serve's /v1/metrics endpoint and SSE counter stream)
+// call this after Start; -metrics then additionally snapshots the same
+// registry to a file on exit, exactly as for the one-shot CLIs.
+func (s *Session) EnsureRegistry() *obs.Registry {
+	if s.Registry == nil {
+		s.Registry = obs.NewRegistry()
+	}
+	return s.Registry
+}
+
 // Context returns a context carrying the session's registry and
 // tracer, for the *Ctx analysis entry points. With every flag off it
 // is a plain background context.

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"afdx/internal/afdx"
+	"afdx/internal/configgen"
+	"afdx/internal/core"
+	"afdx/internal/incremental"
+	"afdx/internal/netcalc"
+	"afdx/internal/trajectory"
+)
+
+// The Cold/Served benchmark pair (afdx-benchjson pairs the suffixes):
+// the same what-if question answered by a cold CLI-style run — full
+// re-analysis of the mutated configuration — versus one warm afdx-serve
+// session over real HTTP, wire round-trip included. Both compute
+// bit-identical bounds (the served-conformance tier pins it); the ratio
+// is the interactive-loop latency the daemon saves.
+
+func benchNet(b *testing.B) *afdx.Network {
+	b.Helper()
+	spec := configgen.DefaultSpec(1)
+	net, err := configgen.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// benchDeltas returns two alternating peek questions, so the served
+// variant exercises the caches' A/B alternation rather than a single
+// hot entry.
+func benchDeltas(b *testing.B, net *afdx.Network) [2][]string {
+	b.Helper()
+	if len(net.VLs) < 2 {
+		b.Fatal("bench config too small")
+	}
+	return [2][]string{
+		{tightenDelta(net.VLs[0])},
+		{tightenDelta(net.VLs[1])},
+	}
+}
+
+func BenchmarkServeWhatIfCold(b *testing.B) {
+	net := benchNet(b)
+	deltas := benchDeltas(b, net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cand := net.Clone()
+		ds, err := parseDeltas(deltas[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := incremental.Apply(cand, ds...); err != nil {
+			b.Fatal(err)
+		}
+		pg, err := afdx.BuildPortGraph(cand, afdx.Strict)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.CompareWith(pg, netcalc.DefaultOptions(), trajectory.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeWhatIfServed(b *testing.B) {
+	net := benchNet(b)
+	deltas := benchDeltas(b, net)
+	s := New(testOptions())
+	ts := newUnmanagedServer(b, s)
+	defer func() {
+		if err := s.Drain(context.Background()); err != nil {
+			b.Error(err)
+		}
+	}()
+	id, err := (&Script{Net: net}).RunHTTP(ts.Client(), ts.URL, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := [2][]byte{}
+	for i := range deltas {
+		bodies[i], _ = json.Marshal(DeltaRequest{Deltas: deltas[i]})
+	}
+	// Warm both variants once so the benchmark measures the steady
+	// interactive loop, not first-touch cache fills.
+	var resp AnalysisResponse
+	for i := range bodies {
+		if err := postJSON(ts.Client(), ts.URL+"/v1/sessions/"+id+"/whatif", bodies[i], &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := postJSON(ts.Client(), ts.URL+"/v1/sessions/"+id+"/whatif", bodies[i%2], &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

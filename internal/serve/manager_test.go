@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"afdx/internal/afdx"
+)
+
+// These tests are the session manager's race-condition coverage (run
+// under `go test -race ./internal/serve/...`): concurrent clients on
+// shared and disjoint sessions, pool-pressure eviction, and drain.
+
+// tightenDelta returns an always-feasible tightening delta for a VL:
+// double the BAG when the cap allows, otherwise halve s_max.
+func tightenDelta(v *afdx.VirtualLink) string {
+	if v.BAGMs*2 <= afdx.MaxBAGMs {
+		return fmt.Sprintf("bag %s %g", v.ID, v.BAGMs*2)
+	}
+	return fmt.Sprintf("smax %s %d", v.ID, max(afdx.MinFrameBytes, v.SMaxBytes/2))
+}
+
+// TestSharedSessionConcurrentPeeks hammers one session with concurrent
+// /whatif peeks from 8 clients. Peeks never commit, so every client
+// asking the same question must receive bit-identical answers no matter
+// how the executor interleaves them.
+func TestSharedSessionConcurrentPeeks(t *testing.T) {
+	_, ts := newTestServer(t, testOptions())
+	net := testNet(t, 7, 16)
+	id, err := (&Script{Net: net}).RunHTTP(ts.Client(), ts.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(DeltaRequest{Deltas: []string{tightenDelta(net.VLs[0])}})
+
+	const clients, rounds = 8, 4
+	answers := make([][]AnalysisResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var resp AnalysisResponse
+				if err := postJSON(ts.Client(), ts.URL+"/v1/sessions/"+id+"/whatif", body, &resp); err != nil {
+					errs[c] = err
+					return
+				}
+				answers[c] = append(answers[c], resp)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	want := answers[0][0].Paths
+	for c := range answers {
+		for r, resp := range answers[c] {
+			if resp.Committed {
+				t.Fatalf("client %d round %d: peek reported committed", c, r)
+			}
+			if !reflect.DeepEqual(resp.Paths, want) {
+				t.Errorf("client %d round %d: concurrent peeks of the same delta diverge", c, r)
+			}
+		}
+	}
+}
+
+// TestSharedSessionConcurrentApplies commits a commuting delta set (one
+// distinct VL per client) from concurrent clients. The executor may
+// order them arbitrarily, but the final state is order-independent, so
+// a follow-up peek must match a cold run on base + all deltas — the
+// serialized-executor bit-parity assertion of the ISSUE.
+func TestSharedSessionConcurrentApplies(t *testing.T) {
+	_, ts := newTestServer(t, testOptions())
+	net := testNet(t, 11, 16)
+	sc := &Script{Net: net.Clone()}
+	id, err := sc.RunHTTP(ts.Client(), ts.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	if len(net.VLs) < clients {
+		t.Fatalf("need %d VLs, have %d", clients, len(net.VLs))
+	}
+	deltas := make([]string, clients)
+	for c := 0; c < clients; c++ {
+		deltas[c] = tightenDelta(net.VLs[c])
+	}
+	errs := make([]error, clients)
+	seqs := make([]int, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body, _ := json.Marshal(DeltaRequest{Deltas: []string{deltas[c]}})
+			var resp AnalysisResponse
+			errs[c] = postJSON(ts.Client(), ts.URL+"/v1/sessions/"+id+"/apply", body, &resp)
+			seqs[c] = resp.Seq
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	// The executor serialized the applies: their round numbers are a
+	// permutation of 1..clients.
+	seen := map[int]bool{}
+	for _, s := range seqs {
+		if s < 1 || s > clients || seen[s] {
+			t.Fatalf("apply seqs %v are not a permutation of 1..%d", seqs, clients)
+		}
+		seen[s] = true
+	}
+	// Record the final state through one more (committed) round and
+	// verify the whole recorded session against cold anchors. The final
+	// configuration is order-independent because the deltas commute.
+	sc.Steps = []Step{
+		{Commit: true, Deltas: append(append([]string{}, deltas...), tightenDelta(net.VLs[clients]))},
+	}
+	// Replace the concurrently-applied deltas with one equivalent batch
+	// for cold verification: base + the same mutations.
+	body, _ := json.Marshal(DeltaRequest{Deltas: sc.Steps[0].Deltas[clients:]})
+	var resp AnalysisResponse
+	if err := postJSON(ts.Client(), ts.URL+"/v1/sessions/"+id+"/apply", body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	sc.Steps[0].Response = &resp
+	sc.Base = nil // base bounds already verified by other tests
+	for _, par := range []int{1, parityWorkers} {
+		mm, err := sc.VerifyCold(context.Background(), afdx.Strict, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mm {
+			t.Errorf("after concurrent applies, parallel %d: %s", par, m)
+		}
+	}
+}
+
+// TestPoolPressureEvictsLRUIdle fills a 2-session pool and uploads a
+// third configuration: the LRU idle session must be evicted to make
+// room, and the survivor keep working.
+func TestPoolPressureEvictsLRUIdle(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	opts := testOptions()
+	opts.MaxSessions = 2
+	opts.Clock = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	srv, ts := newTestServer(t, opts)
+	net := testNet(t, 7, 8)
+	first, err := (&Script{Net: net}).RunHTTP(ts.Client(), ts.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(time.Minute)
+	second, err := (&Script{Net: net}).RunHTTP(ts.Client(), ts.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(time.Minute)
+	third, err := (&Script{Net: net}).RunHTTP(ts.Client(), ts.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := srv.mgr.size(); n != 2 {
+		t.Fatalf("pool size = %d, want 2", n)
+	}
+	if srv.mgr.info(first) != nil {
+		t.Error("LRU session survived pool pressure")
+	}
+	for _, id := range []string{second, third} {
+		if srv.mgr.info(id) == nil {
+			t.Errorf("session %s missing after eviction", id)
+		}
+	}
+}
+
+// TestDrainNoDeadlock drains while concurrent clients are mid-request:
+// Drain must complete, in-flight requests must finish or be refused
+// cleanly, and post-drain requests must get 503 with the draining code.
+func TestDrainNoDeadlock(t *testing.T) {
+	s := New(testOptions())
+	ts := newUnmanagedServer(t, s)
+	net := testNet(t, 7, 16)
+	id, err := (&Script{Net: net}).RunHTTP(ts.Client(), ts.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(DeltaRequest{Deltas: []string{tightenDelta(net.VLs[0])}})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp AnalysisResponse
+			// Either a real answer or a clean draining/closed refusal —
+			// never a hang or a torn response.
+			err := postJSON(ts.Client(), ts.URL+"/v1/sessions/"+id+"/whatif", body, &resp)
+			if err != nil && !strings.Contains(err.Error(), "SRV007") && !strings.Contains(err.Error(), "SRV003") {
+				t.Errorf("mid-drain request: %v", err)
+			}
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain upload: HTTP %d, want 503", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != CodeDraining {
+		t.Fatalf("post-drain code = %s, want %s", eb.Error.Code, CodeDraining)
+	}
+	// Drain is idempotent.
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// newUnmanagedServer is newTestServer without the cleanup Drain (for
+// tests that drain explicitly).
+func newUnmanagedServer(t testing.TB, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
