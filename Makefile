@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the expanded verification
 # gate (build, gofmt, vet, tests, race detector); see check.sh.
 
-.PHONY: build test check lint vet-tool fmt bench bench-pr3 bench-pr4 bench-pr5 bench-pr7 bench-pr8 serve profile conformance fuzz-smoke
+.PHONY: build test check lint vet-tool fmt bench bench-pr3 bench-pr4 bench-pr5 bench-pr7 bench-pr8 bench-pr9 serve profile conformance fuzz-smoke
 
 build:
 	go build ./...
@@ -71,6 +71,21 @@ bench-pr7:
 bench-pr8:
 	go test -run '^$$' -bench 'ServeWhatIf(Cold|Served)$$' -benchtime 3x -count 3 ./internal/serve \
 		| tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR8.json
+
+# Time the served what-if loop with the operational observability stack
+# fully off versus fully on (JSON request/delta logs, per-request
+# tracing into the retention ring, slow-request detection on every
+# request, runtime sampler, per-bound provenance). The non-interference
+# tier proves the bounds bit-identical either way, so the recorded
+# obs_off_on_pairs overhead is the full price of observing a served
+# answer. The pair is interleaved across 4 separate runs (rather than
+# -count 4 in one) so both variants sample the same machine epochs —
+# on a shared runner, sequential halves drift by more than the effect
+# being measured; fastest-of damps the rest. Budget: <= 5%.
+bench-pr9:
+	for i in 1 2 3 4; do \
+		go test -run '^$$' -bench 'ServeWhatIfObs(Off|On)$$' -benchtime 5x ./internal/serve || exit 1; \
+	done | tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR9.json
 
 # Start the analysis daemon on the default loopback port (see README
 # "Serving" for the curl walkthrough; Ctrl-C drains gracefully).

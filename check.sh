@@ -21,9 +21,12 @@
 #                             hot path against the oracle's invariants)
 #  10. served conformance    (afdx-serve -selfcheck: a seeded 20-delta
 #                             script replayed through a live daemon over
-#                             HTTP, every answer re-derived from cold
-#                             engine runs, zero mismatches required;
-#                             plus a -served oracle campaign slice)
+#                             HTTP with the full observability stack on
+#                             — structured JSON logs, request tracing,
+#                             per-bound provenance — every answer
+#                             re-derived from cold engine runs, zero
+#                             mismatches required; plus a -served
+#                             oracle campaign slice)
 #  11. traced conformance    (same campaign with metrics + tracing on:
 #                             verdicts must be identical — observability
 #                             never participates in the computation)
@@ -85,21 +88,31 @@ echo "== flat hot-path smoke (30-config conformance slice)"
 # surfaces here even if the unit corpus misses it.
 go run ./cmd/afdx-conformance -n 30 -seed 11 -quiet
 
-echo "== served conformance (daemon vs cold bit-identity)"
+echo "== served conformance (daemon vs cold bit-identity, observability on)"
 # The serving smoke: generate a mid-size configuration, start afdx-serve
 # on a loopback port, replay a seeded 20-delta script (peeks and
 # commits) over real HTTP, and re-derive every served answer from cold
 # engine runs at worker counts 1 and N. Any bound differing bitwise
-# from its cold anchor fails the gate. A short -served oracle campaign
-# then repeats the contract across a configuration family.
+# from its cold anchor fails the gate. The daemon runs with the full
+# operational stack enabled — structured JSON request logs, per-request
+# tracing into the retention ring, per-bound provenance — so this gate
+# also proves observation never moves a served bound off its cold
+# anchor, and that the machine-readable stdout stays pure with logging
+# on. A short -served oracle campaign then repeats the contract across
+# a configuration family.
 servedir=$(mktemp -d)
 trap 'rm -rf "$servedir"' EXIT
 go run ./cmd/afdx-gen -seed 7 -quiet > "$servedir/net.json"
 go run ./cmd/afdx-serve -selfcheck -config "$servedir/net.json" \
-	-replay-seed 13 -replay-steps 20 > "$servedir/selfcheck.json"
+	-replay-seed 13 -replay-steps 20 \
+	-log "$servedir/serve.log" -logjson -trace-ring 64 > "$servedir/selfcheck.json"
 if ! grep -q '"mismatches": 0' "$servedir/selfcheck.json"; then
 	echo "check.sh: served bounds diverged from cold anchors:" >&2
 	cat "$servedir/selfcheck.json" >&2
+	exit 1
+fi
+if ! grep -q '"msg":"request"' "$servedir/serve.log"; then
+	echo "check.sh: served selfcheck produced no structured request log records" >&2
 	exit 1
 fi
 go run ./cmd/afdx-conformance -n 10 -seed 13 -served -quiet

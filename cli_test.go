@@ -692,12 +692,16 @@ func TestCLIServeDaemon(t *testing.T) {
 
 // TestCLIServeSelfcheck runs the served-conformance smoke the way
 // check.sh does: a seeded script against a loopback daemon, every
-// answer re-derived cold, zero mismatches, pure-JSON stdout.
+// answer re-derived cold, zero mismatches, pure-JSON stdout — with
+// structured logging and trace retention fully on, so the purity
+// contract is proven to survive the observability layer (-log can
+// only name stderr or a file, never stdout).
 func TestCLIServeSelfcheck(t *testing.T) {
 	dir := buildCLIs(t)
 	cfg := sampleConfig(t)
 	out := runCLIStdout(t, dir, "afdx-serve", "-selfcheck", "-config", cfg,
-		"-replay-seed", "5", "-replay-steps", "6")
+		"-replay-seed", "5", "-replay-steps", "6",
+		"-log", "stderr", "-logjson", "-trace-ring", "64")
 	var rep struct {
 		Session    string `json:"session"`
 		Steps      int    `json:"steps"`
@@ -715,6 +719,25 @@ func TestCLIServeSelfcheck(t *testing.T) {
 	}
 }
 
+// TestCLILogStdoutRefused pins the -log sink contract across the CLI
+// family: stdout is reserved for machine-readable output, so naming it
+// as the log destination is a usage error before any work happens.
+func TestCLILogStdoutRefused(t *testing.T) {
+	dir := buildCLIs(t)
+	for _, tool := range []string{"afdx-serve", "afdx-vet", "afdx-lint"} {
+		for _, dest := range []string{"stdout", "-"} {
+			cmd := exec.Command(filepath.Join(dir, tool), "-log", dest)
+			out, _ := cmd.CombinedOutput()
+			if code := cmd.ProcessState.ExitCode(); code != 2 {
+				t.Errorf("%s -log %s: exit %d, want 2\n%s", tool, dest, code, out)
+			}
+			if !strings.Contains(string(out), "stdout is reserved") {
+				t.Errorf("%s -log %s: missing refusal message:\n%s", tool, dest, out)
+			}
+		}
+	}
+}
+
 // TestCLIServeUsageErrors pins exit 2 for flag and configuration
 // failures, before any socket is opened.
 func TestCLIServeUsageErrors(t *testing.T) {
@@ -724,6 +747,7 @@ func TestCLIServeUsageErrors(t *testing.T) {
 		{"stray-positional"},
 		{"-selfcheck"},
 		{"-selfcheck", "-config", "/no/such/file.json"},
+		{"-log", "stdout"},
 	} {
 		cmd := exec.Command(filepath.Join(dir, "afdx-serve"), args...)
 		out, _ := cmd.CombinedOutput()

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"afdx"
+	"afdx/internal/obs/cliobs"
 )
 
 // Row is one benchmark result line.
@@ -96,6 +97,19 @@ type ServedPair struct {
 	GoMaxProcs int     `json:"gomaxprocs"`
 }
 
+// ObsPair is an ObsOff/ObsOn benchmark couple: the same served
+// workload with the operational-observability layer disabled vs fully
+// enabled (request logging, trace retention, provenance). The bounds
+// are bit-identical by contract, so the overhead is the layer's whole
+// cost; the budget is <= 5%, matching the engine instrumentation bar.
+type ObsPair struct {
+	Base        string  `json:"benchmark"`
+	OffNsOp     float64 `json:"off_ns_per_op"`
+	OnNsOp      float64 `json:"on_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+}
+
 // EngineObs is one engine's -obs measurement on the industrial
 // configuration: wall time plain vs instrumented, the relative
 // overhead, and the full counter breakdown of the instrumented run.
@@ -128,6 +142,7 @@ type Report struct {
 	IncrPairs  []IncrPair   `json:"cold_incr_pairs,omitempty"`
 	FastPairs  []FastPair   `json:"cold_fast_pairs,omitempty"`
 	ServedPrs  []ServedPair `json:"cold_served_pairs,omitempty"`
+	ObsPairs   []ObsPair    `json:"obs_off_on_pairs,omitempty"`
 	Obs        *ObsReport   `json:"observability,omitempty"`
 	Note       string       `json:"note"`
 }
@@ -140,13 +155,18 @@ func main() {
 		obsM = flag.Bool("obs", false, "embed per-engine metric breakdowns and the instrumentation overhead (runs the industrial engines)")
 		seed = flag.Int64("seed", 1, "industrial configuration seed for -obs")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
+	var err error
+	if sess, err = obsFlags.Start(); err != nil {
+		fail(err)
+	}
 	rows, err := parse(os.Stdin)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	if len(rows) == 0 && !*obsM {
-		log.Fatal("no benchmark lines on stdin (pipe `go test -bench ...` output)")
+		fail(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench ...` output)"))
 	}
 	rep := Report{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -157,6 +177,7 @@ func main() {
 		IncrPairs:  pairIncr(rows),
 		FastPairs:  pairFast(rows),
 		ServedPrs:  pairServed(rows),
+		ObsPairs:   pairObs(rows),
 		Note: "Seq = -parallel 1, Par = -parallel 0 (all CPUs). The engines' " +
 			"bit-reproducibility contract makes both variants compute identical " +
 			"bounds; speedup below ~1.5x on a multi-core runner is a regression, " +
@@ -165,7 +186,7 @@ func main() {
 	if *obsM {
 		o, err := measureObs(*seed)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		rep.Obs = o
 	}
@@ -173,7 +194,7 @@ func main() {
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		defer f.Close()
 		w = f
@@ -181,8 +202,18 @@ func main() {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
+	sess.Exit(0)
+}
+
+var sess *cliobs.Session
+
+// fail matches log.Fatal's exit code while still flushing any
+// requested observability artifacts.
+func fail(err error) {
+	log.Print(err)
+	sess.Exit(1)
 }
 
 // measureObs times both engines on the industrial configuration, plain
@@ -391,6 +422,30 @@ func pairServed(rows []Row) []ServedPair {
 			Base: base, ColdNsOp: cold, ServedNsOp: served,
 			Speedup:    cold / served,
 			GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Base < pairs[j].Base })
+	return pairs
+}
+
+// pairObs matches FooObsOff/FooObsOn rows and computes the
+// operational-observability overhead of the served stack.
+func pairObs(rows []Row) []ObsPair {
+	byName := bestByName(rows)
+	var pairs []ObsPair
+	for name, off := range byName {
+		base, ok := strings.CutSuffix(name, "ObsOff")
+		if !ok || off == 0 {
+			continue
+		}
+		on, ok := byName[base+"ObsOn"]
+		if !ok {
+			continue
+		}
+		pairs = append(pairs, ObsPair{
+			Base: base, OffNsOp: off, OnNsOp: on,
+			OverheadPct: (on/off - 1) * 100,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 		})
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Base < pairs[j].Base })

@@ -50,6 +50,7 @@ import (
 
 	"afdx"
 	"afdx/internal/obs/cliobs"
+	"afdx/internal/obs/oplog"
 	"afdx/internal/serve"
 )
 
@@ -83,6 +84,9 @@ func main() {
 		config       = flag.String("config", "", "configuration for -selfcheck (required with it)")
 		replaySeed   = flag.Int64("replay-seed", 1, "seed of the -selfcheck delta script")
 		replaySteps  = flag.Int("replay-steps", 20, "length of the -selfcheck delta script")
+		traceRing    = flag.Int("trace-ring", 256, "retained request traces behind /v1/trace (0 disables per-request tracing)")
+		slowThresh   = flag.Duration("slow-threshold", 0, "log requests slower than this at warn level (0 = adaptive p99)")
+		sampleIvl    = flag.Duration("sample-interval", 10*time.Second, "runtime health sampling period (heap, GC, goroutines, pool occupancy; 0 disables)")
 	)
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
@@ -103,6 +107,9 @@ func main() {
 	opts.RequestTimeout = *reqTimeout
 	opts.IdleTimeout = *idleTimeout
 	opts.Registry = sess.EnsureRegistry()
+	opts.Logger = sess.Logger
+	opts.TraceRing = oplog.NewRing(*traceRing)
+	opts.SlowRequestUs = slowThresh.Microseconds()
 
 	if *selfcheck {
 		runSelfcheck(opts, *config, *replaySeed, *replaySteps)
@@ -118,6 +125,12 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(exitUsage, fmt.Errorf("listen: %w", err))
+	}
+	if *sampleIvl > 0 {
+		sampler := oplog.NewRuntimeSampler(opts.Registry)
+		sampler.AddGauge("serve.sessions_live", "live what-if sessions in the pool",
+			func() int64 { return int64(srv.SessionCount()) })
+		defer sampler.Start(*sampleIvl)()
 	}
 	hs := &http.Server{Handler: srv.Handler(), ErrorLog: log.Default()}
 	// The readiness line: scripted callers (and cli_test) poll stdout
@@ -189,6 +202,10 @@ func runSelfcheck(opts serve.Options, config string, seed int64, steps int) {
 	if err != nil {
 		fail(exitServe, err)
 	}
+	// The smoke replays with provenance on: the record must be
+	// observation-only, so requesting it cannot move a bound off its
+	// cold anchor.
+	script.Provenance = true
 	id, err := script.RunHTTP(http.DefaultClient, baseURL, 0)
 	if err != nil {
 		fail(exitServe, err)

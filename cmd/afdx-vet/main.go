@@ -30,7 +30,15 @@ import (
 	"os"
 
 	"afdx/internal/detcheck"
+	"afdx/internal/obs/cliobs"
 )
+
+var sess *cliobs.Session
+
+func fail(err error) {
+	log.Print(err)
+	sess.Exit(2)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,17 +49,22 @@ func main() {
 		fix     = flag.Bool("fix", false, "apply suggested fixes in place, then re-report the remainder")
 		rules   = flag.Bool("rules", false, "list the registered analyzers with their codes and exit")
 	)
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
+	var err error
+	if sess, err = obsFlags.Start(); err != nil {
+		fail(err)
+	}
 
 	if *rules {
 		for _, a := range detcheck.Analyzers() {
 			fmt.Printf("%s %-17s %s\n", a.ID, a.Name, firstLine(a.Doc))
 		}
-		os.Exit(0)
+		sess.Exit(0)
 	}
 	if *asJSON && *asSARIF {
 		log.Print("-json and -sarif are mutually exclusive")
-		os.Exit(2)
+		sess.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -60,26 +73,23 @@ func main() {
 	}
 	root, err := detcheck.ModuleRoot(".")
 	if err != nil {
-		log.Print(err)
-		os.Exit(2)
+		fail(err)
 	}
+	sess.Logger.Info("analysis start", "root", root, "patterns", patterns)
 	rep, err := detcheck.Run(root, patterns...)
 	if err != nil {
-		log.Print(err)
-		os.Exit(2)
+		fail(err)
 	}
 	if *fix {
 		applied, err := rep.ApplyFixes(root)
 		if err != nil {
-			log.Print(err)
-			os.Exit(2)
+			fail(err)
 		}
 		if applied > 0 {
 			fmt.Fprintf(os.Stderr, "afdx-vet: applied %d suggested fix(es); re-analysing\n", applied)
 			rep, err = detcheck.Run(root, patterns...)
 			if err != nil {
-				log.Print(err)
-				os.Exit(2)
+				fail(err)
 			}
 		}
 	}
@@ -87,23 +97,22 @@ func main() {
 	switch {
 	case *asJSON:
 		if err := rep.WriteJSON(os.Stdout); err != nil {
-			log.Print(err)
-			os.Exit(2)
+			fail(err)
 		}
 		summarize(os.Stderr, rep)
 	case *asSARIF:
 		if err := rep.WriteSARIF(os.Stdout); err != nil {
-			log.Print(err)
-			os.Exit(2)
+			fail(err)
 		}
 		summarize(os.Stderr, rep)
 	default:
 		if err := rep.WriteText(os.Stdout); err != nil {
-			log.Print(err)
-			os.Exit(2)
+			fail(err)
 		}
 	}
-	os.Exit(rep.ExitCode())
+	sess.Logger.Info("analysis done",
+		"packages", rep.Packages, "active", rep.Active, "suppressed", rep.Suppressed)
+	sess.Exit(rep.ExitCode())
 }
 
 // summarize writes the one-line verdict to w so that -json/-sarif keep

@@ -35,7 +35,21 @@ func TestDET001FloatMapRange(t *testing.T)    { runCorpus(t, "DET001") }
 func TestDET002NondetSource(t *testing.T)     { runCorpus(t, "DET002") }
 func TestDET003UnsortedKeys(t *testing.T)     { runCorpus(t, "DET003") }
 func TestDET005DetCounterFanout(t *testing.T) { runCorpus(t, "DET005") }
-func TestDET006CtxLoop(t *testing.T)          { runCorpus(t, "DET006") }
+
+// TestDET005OplogClassGate exercises DET005's second rule over a corpus
+// package named oplog: Deterministic-class registrations are flagged
+// there (BestEffort and forwarded classes are not), with exactly one
+// justified allow case, mirroring the runCorpus contract.
+func TestDET005OplogClassGate(t *testing.T) {
+	rep := RunTest(t, Testdata("oplog"), AnalyzerByID(CodeDetCounterFanout))
+	if rep.Suppressed != 1 {
+		t.Errorf("oplog corpus: %d suppressed findings, want exactly 1 (the allow case)", rep.Suppressed)
+	}
+	if rep.Active != 2 {
+		t.Errorf("oplog corpus: %d active findings, want 2 (Counter and Histogram)", rep.Active)
+	}
+}
+func TestDET006CtxLoop(t *testing.T) { runCorpus(t, "DET006") }
 
 // TestDET004TolLiteral additionally pins the mechanical fix: every
 // active 1e-9 literal carries a tol.EpsRel rewrite.

@@ -2,6 +2,9 @@ package detcheck
 
 import (
 	"go/ast"
+	"go/constant"
+	"go/types"
+	"path"
 )
 
 // DET005 detcounterfanout: obs.Counter increments lexically inside a
@@ -14,6 +17,14 @@ import (
 // cache line for no observational gain. The sanctioned pattern is
 // netcalc.analyzePort's: accumulate a local int64 inside the unit of
 // work, flush one Add on the calling goroutine.
+//
+// The analyzer additionally gates the operational-logging package: any
+// package named oplog may register BestEffort metrics only. oplog is
+// the observation plane's plumbing (runtime sampler, request logs,
+// trace retention) — everything it measures is scheduling- and
+// environment-coupled, so a Deterministic-class registration there
+// would launder racy samples into the snapshot subset the determinism
+// gates compare with DeepEqual.
 func init() {
 	Register(&Analyzer{
 		ID:   CodeDetCounterFanout,
@@ -21,7 +32,9 @@ func init() {
 		Doc: "forbids obs.Counter Inc/Add calls lexically inside a parallel.ForEach(Ctx) " +
 			"closure: per-item increments from workers are schedule-coupled (error runs " +
 			"skip indices) and break Deterministic-class snapshot equality. Batch into a " +
-			"local and flush one Add after the pool returns.",
+			"local and flush one Add after the pool returns. Also forbids Deterministic-" +
+			"class metric registrations inside the oplog package, whose runtime samples " +
+			"are BestEffort by nature.",
 		Classes: []PkgClass{ClassEngine, ClassSupport, ClassTool, ClassTolerance},
 		Run:     runDetCounterFanout,
 	})
@@ -31,6 +44,9 @@ const parallelPkg = "afdx/internal/parallel"
 const obsPkg = "afdx/internal/obs"
 
 func runDetCounterFanout(pass *Pass) {
+	if path.Base(pass.Path) == "oplog" {
+		checkOplogRegistrations(pass)
+	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -52,6 +68,65 @@ func runDetCounterFanout(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// checkOplogRegistrations flags obs.Registry registrations with class
+// obs.Deterministic inside a package named oplog. The operational layer
+// observes the runtime (heap, GC, goroutines, request latency) — those
+// values race with scheduling by construction, so the only class it may
+// register is BestEffort; a Deterministic registration there would leak
+// nondeterministic samples into the snapshot subset compared by the
+// bit-reproducibility gates.
+func checkOplogRegistrations(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.Info, call)
+			if f == nil {
+				return true
+			}
+			switch f.Name() {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			if !namedIs(recvNamed(pass.Info, call), obsPkg, "Registry") {
+				return true
+			}
+			// The class is the registration's second argument. Only a
+			// statically known Deterministic value is flagged; a class
+			// forwarded through a variable stays quiet (the registering
+			// caller's package is gated instead).
+			if len(call.Args) < 2 || !classIsDeterministic(pass, call.Args[1]) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"register the metric as obs.BestEffort, or move the deterministic count "+
+					"into the package that owns the work being counted",
+				"obs.Registry.%s with class obs.Deterministic in package oplog: the "+
+					"operational layer samples the runtime and may register BestEffort "+
+					"metrics only", f.Name())
+			return true
+		})
+	}
+}
+
+// classIsDeterministic reports whether the expression is a constant of
+// the named type obs.Class whose value equals obs.Deterministic.
+func classIsDeterministic(pass *Pass, e ast.Expr) bool {
+	n, _ := pass.TypeOf(e).(*types.Named)
+	if !namedIs(n, obsPkg, "Class") {
+		return false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 0
 }
 
 func checkClosureCounters(pass *Pass, fl *ast.FuncLit) {

@@ -65,7 +65,9 @@ const (
 	// a parallel.ForEach closure; per-item increments from workers are
 	// schedule-coupled (skipped indices after an error, contended lines)
 	// and break Deterministic-class snapshot equality. Batch locally and
-	// flush one Add after the pool returns.
+	// flush one Add after the pool returns. Also gates the oplog package
+	// to BestEffort-only metric registrations: runtime samples must never
+	// feed the Deterministic snapshot subset.
 	CodeDetCounterFanout = "DET005"
 	// CodeCtxLoop marks unbounded engine loops (`for {` / `for ;;`)
 	// without a reachable context cancellation check, and bounded loops

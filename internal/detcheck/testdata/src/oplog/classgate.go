@@ -1,0 +1,41 @@
+package oplog
+
+import (
+	"afdx/internal/obs"
+)
+
+// Positive cases: the operational-logging package registering
+// Deterministic-class metrics. Everything oplog measures (heap, GC,
+// latency, occupancy) races with scheduling, so the determinism gates
+// must never see its numbers.
+
+func badCounter(reg *obs.Registry) *obs.Counter {
+	return reg.Counter("oplog.requests", obs.Deterministic, "served requests") // want `DET005 obs.Registry.Counter with class obs.Deterministic in package oplog`
+}
+
+func badHistogram(reg *obs.Registry) *obs.Histogram {
+	return reg.Histogram("oplog.latency_us", obs.Deterministic, "request latency") // want `DET005 obs.Registry.Histogram with class obs.Deterministic in package oplog`
+}
+
+// Negative cases: BestEffort registrations are the sanctioned class
+// for runtime samples, and a class forwarded through a parameter is
+// the registering caller's responsibility, not oplog's.
+
+func goodGauge(reg *obs.Registry) *obs.Gauge {
+	return reg.Gauge("oplog.heap_alloc_bytes", obs.BestEffort, "sampled heap")
+}
+
+func goodHistogram(reg *obs.Registry) *obs.Histogram {
+	return reg.Histogram("oplog.gc_pause_ns", obs.BestEffort, "GC pauses")
+}
+
+func forwardedClass(reg *obs.Registry, class obs.Class) *obs.Counter {
+	return reg.Counter("oplog.forwarded", class, "caller-chosen class")
+}
+
+// Suppression case.
+
+func allowedCounter(reg *obs.Registry) *obs.Counter {
+	//detcheck:allow DET005: test corpus exercises the suppression path
+	return reg.Counter("oplog.allowed", obs.Deterministic, "allowed registration")
+}

@@ -1,14 +1,21 @@
 // Package cliobs wires the observability subsystem (internal/obs) and
 // the Go runtime profilers into a command-line program: every afdx-*
 // CLI registers the same flag set (-metrics, -tracefile, -spantree,
-// -cpuprofile, -memprofile, -trace), starts a Session after flag
-// parsing, threads Session.Context() into the analysis entry points,
-// and exits through Session.Exit so the collected artifacts are
-// flushed on every exit path.
+// -cpuprofile, -memprofile, -trace, -log, -logjson), starts a Session
+// after flag parsing, threads Session.Context() into the analysis
+// entry points, and exits through Session.Exit so the collected
+// artifacts are flushed on every exit path.
 //
 // All flags default to off, in which case the Session is free: the
-// context carries no registry or tracer and the engines skip their
-// instrumentation on a nil check.
+// context carries no registry or tracer, the logger discards, and the
+// engines skip their instrumentation on a nil check.
+//
+// Every artifact sink is explicit and stdout is refused (oplog.Sink):
+// the CLIs' stdout carries machine-readable output (bounds tables,
+// selfcheck JSON, the afdx-serve readiness line), so observability
+// can only write to stderr or named files and the stdout-purity
+// contract holds by construction on every exit path, signal-triggered
+// ones included.
 package cliobs
 
 import (
@@ -16,12 +23,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 
 	"afdx/internal/obs"
+	"afdx/internal/obs/oplog"
 )
 
 // Flags holds the shared observability flag values.
@@ -32,6 +42,8 @@ type Flags struct {
 	Metrics    string
 	TraceFile  string
 	SpanTree   bool
+	Log        string
+	LogJSON    bool
 }
 
 // Register installs the shared observability flags on a flag set
@@ -44,6 +56,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Metrics, "metrics", "", "write the engine metrics snapshot as JSON to this file on exit")
 	fs.StringVar(&f.TraceFile, "tracefile", "", "write the span trace (Chrome trace-viewer JSON) to this file on exit")
 	fs.BoolVar(&f.SpanTree, "spantree", false, "print the aggregated span tree to stderr on exit")
+	fs.StringVar(&f.Log, "log", "", `write structured logs to "stderr" or a file (stdout is refused; default off)`)
+	fs.BoolVar(&f.LogJSON, "logjson", false, "emit -log records as JSON lines instead of text")
 	return f
 }
 
@@ -53,10 +67,15 @@ func Register(fs *flag.FlagSet) *Flags {
 type Session struct {
 	Registry *obs.Registry
 	Tracer   *obs.Tracer
+	// Logger is the run's structured logger: the -log sink (stderr or
+	// a file, in -logjson or text form), or a discard logger when the
+	// flag is off — never nil, so callers thread it unconditionally.
+	Logger *slog.Logger
 
 	flags   Flags
 	cpuFile *os.File
 	trcFile *os.File
+	logSink io.WriteCloser
 	closed  bool
 }
 
@@ -64,12 +83,20 @@ type Session struct {
 // error the partially started profilers are stopped; the caller can
 // exit without closing.
 func (f *Flags) Start() (*Session, error) {
-	s := &Session{flags: *f}
+	s := &Session{flags: *f, Logger: oplog.Discard()}
 	if f.Metrics != "" {
 		s.Registry = obs.NewRegistry()
 	}
 	if f.TraceFile != "" || f.SpanTree {
 		s.Tracer = obs.NewTracer()
+	}
+	if f.Log != "" {
+		sink, err := oplog.Sink(f.Log)
+		if err != nil {
+			return nil, fmt.Errorf("cliobs: -log: %w", err)
+		}
+		s.logSink = sink
+		s.Logger = oplog.New(sink, f.LogJSON)
 	}
 	if f.CPUProfile != "" {
 		fh, err := os.Create(f.CPUProfile)
@@ -165,6 +192,10 @@ func (s *Session) Close() error {
 		} else {
 			errs = append(errs, s.Registry.Snapshot().WriteJSON(fh), fh.Close())
 		}
+	}
+	if s.logSink != nil {
+		errs = append(errs, s.logSink.Close())
+		s.logSink = nil
 	}
 	if s.Tracer != nil {
 		if s.flags.TraceFile != "" {

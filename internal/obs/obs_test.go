@@ -5,9 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
+	"slices"
 	"testing"
 
 	"afdx/internal/obs"
@@ -272,5 +275,90 @@ func TestHistogramBuckets(t *testing.T) {
 	want := map[string]int64{"0": 1, "1": 2, "2-3": 2, "4-7": 1, "512-1023": 1}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("buckets = %v, want %v", got, want)
+	}
+}
+
+// TestGauge pins the gauge surface: nil safety, Set/Add semantics,
+// snapshot rendering, and Deterministic-class filtering.
+func TestGauge(t *testing.T) {
+	var nilReg *obs.Registry
+	ng := nilReg.Gauge("x", obs.BestEffort, "")
+	ng.Set(5)
+	ng.Add(2)
+	if ng.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	reg := obs.NewRegistry()
+	g := reg.Gauge("pool_live", obs.BestEffort, "live sessions")
+	g.Set(3)
+	g.Add(2)
+	g.Add(-1)
+	if g.Value() != 4 {
+		t.Fatalf("gauge value %d, want 4", g.Value())
+	}
+	if again := reg.Gauge("pool_live", obs.BestEffort, "other"); again != g {
+		t.Error("gauge registration is not get-or-create")
+	}
+	reg.Gauge("det_level", obs.Deterministic, "").Set(7)
+	s := reg.Snapshot()
+	if s.Gauge("pool_live") != 4 || s.Gauge("det_level") != 7 || s.Gauge("absent") != 0 {
+		t.Errorf("snapshot gauges wrong: %+v", s.Gauges)
+	}
+	det := s.Deterministic()
+	if len(det.Gauges) != 1 || det.Gauges[0].Name != "det_level" {
+		t.Errorf("Deterministic() kept %+v, want only det_level", det.Gauges)
+	}
+}
+
+// TestQuantileProperty checks Quantile against a sorted reference over
+// randomized data sets: the estimate is always >= the exact
+// nearest-rank quantile and stays inside its power-of-two bucket (the
+// factor-2 envelope the histogram promises), exactly == for data sets
+// of distinct powers of two minus one.
+func TestQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		data := make([]int64, n)
+		h := &obs.Histogram{}
+		for i := range data {
+			switch rng.Intn(3) {
+			case 0:
+				data[i] = int64(rng.Intn(8))
+			case 1:
+				data[i] = int64(rng.Intn(1 << 10))
+			default:
+				data[i] = int64(rng.Intn(1 << 20))
+			}
+			h.Observe(data[i])
+		}
+		sorted := append([]int64(nil), data...)
+		slices.Sort(sorted)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			ref := sorted[rank-1]
+			got := h.Quantile(q)
+			if got < ref {
+				t.Fatalf("trial %d q=%g: Quantile %d < exact %d", trial, q, got, ref)
+			}
+			if ref > 0 && got >= 2*ref && got > sorted[n-1] {
+				t.Fatalf("trial %d q=%g: Quantile %d outside the factor-2 envelope of %d", trial, q, got, ref)
+			}
+			if got > sorted[n-1] {
+				t.Fatalf("trial %d q=%g: Quantile %d above the observed max %d", trial, q, got, sorted[n-1])
+			}
+		}
+	}
+	// Empty and degenerate cases.
+	var empty obs.Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	var nilH *obs.Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
 	}
 }

@@ -1,0 +1,107 @@
+package oplog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"afdx/internal/obs"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format version 0.0.4, the format WritePrometheus emits.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format. Counters and gauges map directly; the power-of-
+// two histograms map to cumulative `_bucket{le="..."}` series with
+// the exclusive bucket counts accumulated in order and the unbounded
+// bucket folded into le="+Inf", plus `_sum` and `_count`. Metric
+// names are sanitized (dots → underscores) and every series carries a
+// class label ("deterministic" or "best-effort") so dashboards can
+// separate the reproducible work counters from scheduling
+// observations. Output order follows the snapshot, which is sorted by
+// name, so scrapes of an idle process are byte-stable.
+func WritePrometheus(w io.Writer, snap *obs.Snapshot) error {
+	if snap == nil {
+		return nil
+	}
+	for _, c := range snap.Counters {
+		name := promName(c.Name)
+		if err := promHeader(w, name, "counter", c.Help); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s{class=%q} %d\n", name, c.Class, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		name := promName(g.Name)
+		if err := promHeader(w, name, "gauge", g.Help); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s{class=%q} %d\n", name, g.Class, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		name := promName(h.Name)
+		if err := promHeader(w, name, "histogram", h.Help); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			if b.Le < 0 {
+				// Unbounded overflow bucket: folded into +Inf below.
+				continue
+			}
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{class=%q,le=\"%d\"} %d\n", name, h.Class, b.Le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{class=%q,le=\"+Inf\"} %d\n", name, h.Class, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{class=%q} %d\n", name, h.Class, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count{class=%q} %d\n", name, h.Class, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promHeader(w io.Writer, name, typ, help string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, promEscapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// promName maps a registry metric name onto the Prometheus name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's dotted namespaces
+// ("netcalc.port_visits") become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promEscapeHelp(help string) string {
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
+}

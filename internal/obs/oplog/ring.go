@@ -1,0 +1,122 @@
+package oplog
+
+import (
+	"sync"
+
+	"afdx/internal/obs"
+)
+
+// RequestTrace is one completed HTTP request retained for after-the-
+// fact inspection: the correlation id minted by the serve layer, the
+// request line, outcome, latency, and the engine spans the request
+// produced (already in Chrome-trace event form, the repository's
+// canonical trace encoding).
+type RequestTrace struct {
+	ID      string           `json:"id"`
+	Method  string           `json:"method"`
+	Path    string           `json:"path"`
+	Session string           `json:"session,omitempty"`
+	Status  int              `json:"status"`
+	DurUs   int64            `json:"durUs"`
+	Events  []obs.TraceEvent `json:"events,omitempty"`
+}
+
+// TraceSummary is the listing form of a retained trace: everything
+// but the event payload, plus the event count.
+type TraceSummary struct {
+	ID      string `json:"id"`
+	Method  string `json:"method"`
+	Path    string `json:"path"`
+	Session string `json:"session,omitempty"`
+	Status  int    `json:"status"`
+	DurUs   int64  `json:"durUs"`
+	Events  int    `json:"events"`
+}
+
+// Ring retains the most recent completed request traces in a fixed-
+// capacity circular buffer. Adding the capacity+1'th trace evicts the
+// oldest; lookups by id only resolve while the trace is retained.
+// All methods are safe for concurrent use, and a nil *Ring no-ops, so
+// the serve layer threads it unconditionally.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []RequestTrace
+	next int // next slot to write
+	n    int // slots filled, ≤ len(buf)
+	byID map[string]int
+}
+
+// NewRing returns a ring retaining up to capacity traces; capacity
+// ≤ 0 returns nil (retention off).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Ring{buf: make([]RequestTrace, capacity), byID: make(map[string]int)}
+}
+
+// Add retains tr, evicting the oldest trace when full.
+func (r *Ring) Add(tr RequestTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; r.n == len(r.buf) && r.byID[old.ID] == r.next {
+		delete(r.byID, old.ID)
+	}
+	r.buf[r.next] = tr
+	r.byID[tr.ID] = r.next
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Get returns the retained trace with the given id.
+func (r *Ring) Get(id string) (RequestTrace, bool) {
+	if r == nil {
+		return RequestTrace{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.byID[id]
+	if !ok {
+		return RequestTrace{}, false
+	}
+	return r.buf[i], true
+}
+
+// List returns summaries of the retained traces, newest first.
+func (r *Ring) List() []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSummary, 0, r.n)
+	for k := 1; k <= r.n; k++ {
+		i := (r.next - k + len(r.buf)) % len(r.buf)
+		tr := r.buf[i]
+		out = append(out, TraceSummary{
+			ID:      tr.ID,
+			Method:  tr.Method,
+			Path:    tr.Path,
+			Session: tr.Session,
+			Status:  tr.Status,
+			DurUs:   tr.DurUs,
+			Events:  len(tr.Events),
+		})
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

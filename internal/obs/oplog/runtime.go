@@ -1,0 +1,115 @@
+package oplog
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"afdx/internal/obs"
+)
+
+// RuntimeSampler periodically copies Go runtime health figures —
+// goroutine count, heap footprint, GC activity — into gauges on a
+// registry, plus any caller-registered gauges (the serve layer adds
+// session-pool occupancy). Every gauge it registers is obs.BestEffort
+// class: samples observe scheduling and allocator state, never work,
+// so the Deterministic snapshot is identical whether the sampler runs
+// or not (DET005 rejects any Deterministic-class registration in this
+// package). A nil *RuntimeSampler no-ops.
+type RuntimeSampler struct {
+	reg        *obs.Registry
+	goroutines *obs.Gauge
+	heapAlloc  *obs.Gauge
+	heapSys    *obs.Gauge
+	gcCycles   *obs.Gauge
+	gcPauseNs  *obs.Gauge
+
+	mu    sync.Mutex
+	extra []extraGauge
+}
+
+type extraGauge struct {
+	g  *obs.Gauge
+	fn func() int64
+}
+
+// NewRuntimeSampler registers the runtime gauges on reg and returns a
+// sampler that fills them on each Sample call; a nil registry returns
+// a nil sampler.
+func NewRuntimeSampler(reg *obs.Registry) *RuntimeSampler {
+	if reg == nil {
+		return nil
+	}
+	return &RuntimeSampler{
+		reg:        reg,
+		goroutines: reg.Gauge("runtime.goroutines", obs.BestEffort, "live goroutines at last sample"),
+		heapAlloc:  reg.Gauge("runtime.heap_alloc_bytes", obs.BestEffort, "bytes of allocated heap objects at last sample"),
+		heapSys:    reg.Gauge("runtime.heap_sys_bytes", obs.BestEffort, "bytes of heap obtained from the OS at last sample"),
+		gcCycles:   reg.Gauge("runtime.gc_cycles", obs.BestEffort, "completed GC cycles at last sample"),
+		gcPauseNs:  reg.Gauge("runtime.gc_pause_total_ns", obs.BestEffort, "cumulative GC stop-the-world pause at last sample"),
+	}
+}
+
+// AddGauge registers a caller-supplied BestEffort gauge filled from
+// fn on each sample (e.g. serve session-pool occupancy).
+func (s *RuntimeSampler) AddGauge(name, help string, fn func() int64) {
+	if s == nil || fn == nil {
+		return
+	}
+	g := s.reg.Gauge(name, obs.BestEffort, help)
+	s.mu.Lock()
+	s.extra = append(s.extra, extraGauge{g: g, fn: fn})
+	s.mu.Unlock()
+}
+
+// Sample takes one snapshot of the runtime figures into the gauges.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Set(int64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(int64(ms.HeapAlloc))
+	s.heapSys.Set(int64(ms.HeapSys))
+	s.gcCycles.Set(int64(ms.NumGC))
+	s.gcPauseNs.Set(int64(ms.PauseTotalNs))
+	s.mu.Lock()
+	extra := append([]extraGauge(nil), s.extra...)
+	s.mu.Unlock()
+	for _, e := range extra {
+		e.g.Set(e.fn())
+	}
+}
+
+// Start samples immediately and then every interval until the
+// returned stop function is called; stop waits for the sampling
+// goroutine to exit and is safe to call more than once.
+func (s *RuntimeSampler) Start(interval time.Duration) (stop func()) {
+	if s == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	s.Sample()
+	stopCh, doneCh := make(chan struct{}), make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				s.Sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopCh) })
+		<-doneCh
+	}
+}

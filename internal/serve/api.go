@@ -55,6 +55,9 @@ const (
 	// gate on, SRV002 reports it first) or carried bad parameters
 	// (e.g. a negative ?parallel). HTTP 400.
 	CodeInvalidConfig diag.Code = "SRV011"
+	// CodeUnknownTrace marks a /v1/trace/{id} lookup for a trace that
+	// was never retained or has been evicted from the ring. HTTP 404.
+	CodeUnknownTrace diag.Code = "SRV012"
 )
 
 // ErrorBody is the JSON error payload of every non-2xx response: one
@@ -88,12 +91,47 @@ type PathBound struct {
 // AnalysisResponse is one analysis round: the session, a per-session
 // round number, whether the deltas were committed (apply) or peeked
 // (whatif), and every path's bounds in (VL, path index) order.
+// Provenance is present only when the request asked for it
+// (?provenance=1).
 type AnalysisResponse struct {
-	Session   string      `json:"session"`
-	Seq       int         `json:"seq"`
-	Committed bool        `json:"committed"`
-	Deltas    []string    `json:"deltas,omitempty"`
-	Paths     []PathBound `json:"paths"`
+	Session    string      `json:"session"`
+	Seq        int         `json:"seq"`
+	Committed  bool        `json:"committed"`
+	Deltas     []string    `json:"deltas,omitempty"`
+	Paths      []PathBound `json:"paths"`
+	Provenance *Provenance `json:"provenance,omitempty"`
+}
+
+// Provenance is the audit record of one analysis round: enough to
+// answer, after the fact, which configuration, engine variant, and
+// cache path produced these bounds. The digest is FNV-1a 64 over the
+// canonical JSON of the exact configuration the bounds describe (for
+// a peek: committed state plus the peeked batch — the same
+// reconstruction VerifyCold anchors against). Hit/recompute totals
+// are the server-wide Deterministic incremental counters at response
+// time; ObsVersion pins the record schema.
+type Provenance struct {
+	// ConfigFNV64 is the hex FNV-1a 64-bit digest of the analysed
+	// configuration's canonical JSON.
+	ConfigFNV64 string `json:"configFnv64"`
+	// Engines names the bound producers ("netcalc+trajectory": both
+	// engines run and the per-path best is served).
+	Engines string `json:"engines"`
+	// TrajectoryPath is the trajectory evaluation variant ("flat":
+	// the flattened hot path; the reference walker exists only for
+	// differential tests).
+	TrajectoryPath string `json:"trajectoryPath"`
+	// Workers is the session's engine worker count (0 = all CPUs).
+	// Bounds do not depend on it.
+	Workers int `json:"workers"`
+	// PortHits / PortRecomputes are netcalc.incr_port_{hits,recomputes}.
+	PortHits       int64 `json:"portHits"`
+	PortRecomputes int64 `json:"portRecomputes"`
+	// PathHits / PathRecomputes are trajectory.incr_path_{hits,recomputes}.
+	PathHits       int64 `json:"pathHits"`
+	PathRecomputes int64 `json:"pathRecomputes"`
+	// ObsVersion is the observability-layer schema tag (oplog.Version).
+	ObsVersion string `json:"obsVersion"`
 }
 
 // AnalysisEvent is the SSE "analysis" event payload: the response every
@@ -142,7 +180,7 @@ func httpStatus(code diag.Code) int {
 		return http.StatusBadRequest
 	case CodeLintRejected, CodeDeltaRejected:
 		return http.StatusUnprocessableEntity
-	case CodeUnknownSession:
+	case CodeUnknownSession, CodeUnknownTrace:
 		return http.StatusNotFound
 	case CodeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge

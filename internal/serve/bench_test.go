@@ -3,13 +3,18 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"testing"
+	"time"
 
 	"afdx/internal/afdx"
 	"afdx/internal/configgen"
 	"afdx/internal/core"
 	"afdx/internal/incremental"
 	"afdx/internal/netcalc"
+	"afdx/internal/obs"
+	"afdx/internal/obs/oplog"
 	"afdx/internal/trajectory"
 )
 
@@ -68,19 +73,59 @@ func BenchmarkServeWhatIfCold(b *testing.B) {
 }
 
 func BenchmarkServeWhatIfServed(b *testing.B) {
+	benchServedWhatIf(b, false)
+}
+
+// The ObsOff/ObsOn pair times the identical served what-if loop with
+// the observability stack fully off versus fully on: structured JSON
+// request and delta logs (written to io.Discard so the pair measures
+// the layer, not the disk), per-request tracing retained in a 256-entry
+// ring, slow-request detection with a threshold of 1µs (every request
+// takes the slow-log path — the worst case), the runtime sampler, and
+// per-bound provenance on every answer. afdx-benchjson pairs the
+// suffixes into obs_off_on_pairs; the overhead budget is <= 5%.
+
+func BenchmarkServeWhatIfObsOff(b *testing.B) {
+	benchServedWhatIf(b, false)
+}
+
+func BenchmarkServeWhatIfObsOn(b *testing.B) {
+	benchServedWhatIf(b, true)
+}
+
+// benchServedWhatIf runs the steady-state served what-if loop — one
+// warm session, two alternating peek questions over real HTTP — with
+// the observability layer fully on or fully off.
+func benchServedWhatIf(b *testing.B, obsOn bool) {
 	net := benchNet(b)
 	deltas := benchDeltas(b, net)
-	s := New(testOptions())
+	opts := testOptions()
+	query := ""
+	if obsOn {
+		opts.Registry = obs.NewRegistry()
+		opts.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+		opts.TraceRing = oplog.NewRing(256)
+		opts.SlowRequestUs = 1
+		query = "?provenance=1"
+	}
+	s := New(opts)
 	ts := newUnmanagedServer(b, s)
 	defer func() {
 		if err := s.Drain(context.Background()); err != nil {
 			b.Error(err)
 		}
 	}()
+	if obsOn {
+		sampler := oplog.NewRuntimeSampler(opts.Registry)
+		sampler.AddGauge("serve.sessions_live", "live analysis sessions",
+			func() int64 { return int64(s.SessionCount()) })
+		defer sampler.Start(10 * time.Millisecond)()
+	}
 	id, err := (&Script{Net: net}).RunHTTP(ts.Client(), ts.URL, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
+	url := ts.URL + "/v1/sessions/" + id + "/whatif" + query
 	bodies := [2][]byte{}
 	for i := range deltas {
 		bodies[i], _ = json.Marshal(DeltaRequest{Deltas: deltas[i]})
@@ -89,13 +134,13 @@ func BenchmarkServeWhatIfServed(b *testing.B) {
 	// interactive loop, not first-touch cache fills.
 	var resp AnalysisResponse
 	for i := range bodies {
-		if err := postJSON(ts.Client(), ts.URL+"/v1/sessions/"+id+"/whatif", bodies[i], &resp); err != nil {
+		if err := postJSON(ts.Client(), url, bodies[i], &resp); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := postJSON(ts.Client(), ts.URL+"/v1/sessions/"+id+"/whatif", bodies[i%2], &resp); err != nil {
+		if err := postJSON(ts.Client(), url, bodies[i%2], &resp); err != nil {
 			b.Fatal(err)
 		}
 	}

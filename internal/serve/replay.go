@@ -34,11 +34,15 @@ type Step struct {
 	Response *AnalysisResponse `json:"response,omitempty"`
 }
 
-// Script is one session's recorded traffic.
+// Script is one session's recorded traffic. With Provenance set,
+// RunHTTP requests the per-bound provenance record on every round —
+// the conformance tier runs with it on, proving the record is
+// observation-only.
 type Script struct {
-	Net   *afdx.Network     `json:"net"`
-	Base  *AnalysisResponse `json:"base,omitempty"`
-	Steps []Step            `json:"steps"`
+	Net        *afdx.Network     `json:"net"`
+	Base       *AnalysisResponse `json:"base,omitempty"`
+	Steps      []Step            `json:"steps"`
+	Provenance bool              `json:"provenance,omitempty"`
 }
 
 // SeededScript draws a deterministic delta script for a configuration:
@@ -117,7 +121,11 @@ func (sc *Script) RunHTTP(client *http.Client, baseURL string, parallel int) (st
 	if err != nil {
 		return "", fmt.Errorf("serve: replay: %w", err)
 	}
-	url := fmt.Sprintf("%s/v1/sessions?parallel=%d", baseURL, parallel)
+	prov := ""
+	if sc.Provenance {
+		prov = "&provenance=1"
+	}
+	url := fmt.Sprintf("%s/v1/sessions?parallel=%d%s", baseURL, parallel, prov)
 	var base AnalysisResponse
 	if err := postJSON(client, url, cfg, &base); err != nil {
 		return "", fmt.Errorf("serve: replay upload: %w", err)
@@ -135,6 +143,9 @@ func (sc *Script) RunHTTP(client *http.Client, baseURL string, parallel int) (st
 		}
 		var resp AnalysisResponse
 		stepURL := fmt.Sprintf("%s/v1/sessions/%s/%s", baseURL, base.Session, verb)
+		if sc.Provenance {
+			stepURL += "?provenance=1"
+		}
 		if err := postJSON(client, stepURL, body, &resp); err != nil {
 			return "", fmt.Errorf("serve: replay step %d %v: %w", i, st.Deltas, err)
 		}

@@ -25,14 +25,17 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"afdx/internal/afdx"
 	"afdx/internal/incremental"
 	"afdx/internal/lint"
 	"afdx/internal/obs"
+	"afdx/internal/obs/oplog"
 )
 
 // Options configures a Server. The zero value is usable; DefaultOptions
@@ -67,6 +70,15 @@ type Options struct {
 	Registry *obs.Registry
 	// Clock overrides time.Now for idle-eviction tests.
 	Clock func() time.Time
+	// Logger receives one structured record per HTTP request and per
+	// applied delta. nil = logging off (records are discarded).
+	Logger *slog.Logger
+	// TraceRing retains completed request traces for /v1/trace; nil
+	// disables per-request tracing and retention.
+	TraceRing *oplog.Ring
+	// SlowRequestUs is the slow-request log threshold in microseconds;
+	// 0 = adaptive (live p99 of the latency histogram, 1ms floor).
+	SlowRequestUs int64
 }
 
 // DefaultOptions returns the daemon's production limits.
@@ -78,25 +90,40 @@ func DefaultOptions() Options {
 		RequestTimeout: 2 * time.Minute,
 		IdleTimeout:    30 * time.Minute,
 		KeepAlive:      15 * time.Second,
+		TraceRing:      oplog.NewRing(256),
 	}
 }
 
 // Server is the serving layer: the bounded session pool plus its HTTP
 // surface. Create with New, mount Handler, stop with Drain.
 type Server struct {
-	opts Options
-	reg  *obs.Registry
-	mgr  *manager
+	opts    Options
+	reg     *obs.Registry
+	mgr     *manager
+	log     *slog.Logger
+	latency *obs.Histogram
+	reqSeq  atomic.Int64
 }
 
 // New builds a Server. A nil-Registry option gets a private registry so
-// the metrics endpoint always works.
+// the metrics endpoint always works; a nil-Logger option discards.
 func New(opts Options) *Server {
 	reg := opts.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Server{opts: opts, reg: reg, mgr: newManager(opts, reg)}
+	log := opts.Logger
+	if log == nil {
+		log = oplog.Discard()
+	}
+	return &Server{
+		opts: opts,
+		reg:  reg,
+		mgr:  newManager(opts, reg),
+		log:  log,
+		latency: reg.Histogram("serve_request_duration_us", obs.BestEffort,
+			"HTTP request latency, µs (wall clock; slow-request threshold input)"),
+	}
 }
 
 // Registry returns the server's metric registry (serving counters plus
@@ -112,6 +139,13 @@ func (s *Server) Drain(ctx context.Context) error { return s.mgr.drain(ctx) }
 // for tests and operational tooling).
 func (s *Server) EvictIdle(olderThan time.Duration) int { return s.mgr.evictIdle(olderThan) }
 
+// SessionCount returns the number of live sessions (the runtime
+// sampler's session-pool occupancy gauge reads this).
+func (s *Server) SessionCount() int {
+	n, _ := s.mgr.size()
+	return n
+}
+
 // Handler returns the server's HTTP surface:
 //
 //	POST   /v1/sessions              upload a configuration, open a session
@@ -121,8 +155,15 @@ func (s *Server) EvictIdle(olderThan time.Duration) int { return s.mgr.evictIdle
 //	POST   /v1/sessions/{id}/whatif  peek a delta batch (non-committing)
 //	POST   /v1/sessions/{id}/apply   commit a delta batch
 //	GET    /v1/sessions/{id}/events  SSE stream of analysis rounds
-//	GET    /v1/metrics               full metric snapshot
+//	GET    /v1/metrics               metric snapshot (JSON; Prometheus
+//	                                 text via ?format=prometheus or
+//	                                 Accept negotiation)
+//	GET    /v1/trace                 retained request traces, newest first
+//	GET    /v1/trace/{id}            one trace as Chrome-trace JSON
 //	GET    /v1/healthz               liveness + pool size
+//
+// The POST routes accept ?provenance=1 to attach a per-bound
+// provenance record to the response and its SSE event.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -137,11 +178,10 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTraceList)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceGet)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.mgr.metrics.requests.Inc()
-		mux.ServeHTTP(w, r)
-	})
+	return s.observe(mux)
 }
 
 // body wraps the request body with the server's size cap.
@@ -200,7 +240,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	out, err := s.mgr.submit(r.Context(), ms.id, s.analysisTask(false, nil, nil))
+	out, err := s.mgr.submit(r.Context(), ms.id, s.analysisTask(false, nil, nil, wantProvenance(r)))
 	if err != nil {
 		// A session whose base analysis failed holds no useful warm
 		// state; close it so the client can retry cleanly.
@@ -225,7 +265,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request, commit boo
 		writeError(w, err)
 		return
 	}
-	out, err := s.mgr.submit(r.Context(), r.PathValue("id"), s.analysisTask(commit, req.Deltas, ds))
+	out, err := s.mgr.submit(r.Context(), r.PathValue("id"), s.analysisTask(commit, req.Deltas, ds, wantProvenance(r)))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -245,8 +285,9 @@ func decodeJSONBody(r *http.Request, v any) error {
 // analysisTask builds the executor closure of one analysis round: the
 // base analysis (no deltas), a peek (/whatif), or a commit (/apply).
 // It runs on the session's executor goroutine, so the Session calls
-// are serialized by construction.
-func (s *Server) analysisTask(commit bool, cmds []string, ds []incremental.Delta) func(ctx context.Context, sess *incremental.Session, ms *managed) (any, error) {
+// are serialized by construction. With prov set the response carries
+// the round's provenance record.
+func (s *Server) analysisTask(commit bool, cmds []string, ds []incremental.Delta, prov bool) func(ctx context.Context, sess *incremental.Session, ms *managed) (any, error) {
 	return func(ctx context.Context, sess *incremental.Session, ms *managed) (any, error) {
 		var res *incremental.Result
 		var err error
@@ -277,6 +318,7 @@ func (s *Server) analysisTask(commit bool, cmds []string, ds []incremental.Delta
 			Deltas:    cmds,
 			Paths:     pathBounds(res.Comparison),
 		}
+		var workers int
 		s.mgr.updateStats(ms, func(st *sessionStats) {
 			resp.Seq = st.seq
 			st.seq++
@@ -285,10 +327,17 @@ func (s *Server) analysisTask(commit bool, cmds []string, ds []incremental.Delta
 				st.vls = len(sess.PortGraph().Net.VLs)
 				st.paths = len(resp.Paths)
 			}
+			workers = st.parallel
 		})
+		if prov {
+			resp.Provenance = s.provenance(sess, ds, commit, workers)
+		}
 		s.mgr.metrics.rounds.Inc()
 		if commit {
 			s.mgr.metrics.deltas.Add(int64(len(ds)))
+			for _, cmd := range cmds {
+				s.log.Info("delta applied", "session", ms.id, "seq", resp.Seq, "cmd", cmd)
+			}
 		}
 		ms.hub.publish("analysis", AnalysisEvent{
 			AnalysisResponse: resp,
@@ -354,7 +403,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	serveSSE(w, r, h, event{id: 0, name: "session", data: hello}, s.opts.KeepAlive)
 }
 
+// handleMetrics serves the metric snapshot: JSON by default, the
+// Prometheus text exposition format on ?format=prometheus or when the
+// Accept header prefers text/plain or OpenMetrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", oplog.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		oplog.WritePrometheus(w, s.reg.Snapshot()) //nolint:errcheck // the client went away; nothing to do
+		return
+	}
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 

@@ -9,10 +9,18 @@ package afdx_test
 
 import (
 	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
 	"reflect"
 	"testing"
+	"time"
 
 	"afdx"
+	"afdx/internal/configgen"
+	"afdx/internal/obs"
+	"afdx/internal/obs/oplog"
+	"afdx/internal/serve"
 )
 
 // TestObservationBitIdenticalAndSnapshotsStable runs both engines on
@@ -70,6 +78,107 @@ func TestObservationBitIdenticalAndSnapshotsStable(t *testing.T) {
 			if !reflect.DeepEqual(baseline, snap) {
 				t.Errorf("Deterministic snapshot differs at workers=%d traced=%v:\nbase: %+v\ngot:  %+v",
 					workers, traced, baseline, snap)
+			}
+		}
+	}
+}
+
+// TestServedObservabilityNonInterference extends the non-interference
+// contract to the operational layer: a served what-if script answers
+// bit-identical bounds and accumulates a deeply equal Deterministic
+// snapshot whether the observability stack (structured JSON logging,
+// per-request tracing with ring retention, slow-request detection, the
+// runtime sampler, per-bound provenance) is fully enabled or fully
+// off, at engine worker counts 1 and 4 — and the fully observed
+// script still passes the served-conformance cold replay.
+func TestServedObservabilityNonInterference(t *testing.T) {
+	spec := configgen.DefaultSpec(7)
+	spec.NumSwitches = 3
+	spec.ESPerSwitch = 3
+	spec.NumVLs = 16
+	net, err := configgen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(workers int, obsOn bool) (*serve.Script, *obs.Snapshot) {
+		t.Helper()
+		reg := obs.NewRegistry()
+		opts := serve.Options{
+			Mode:           afdx.Strict,
+			MaxSessions:    8,
+			RequestTimeout: time.Minute,
+			Registry:       reg,
+		}
+		if obsOn {
+			opts.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+			opts.TraceRing = oplog.NewRing(64)
+			opts.SlowRequestUs = 1 // every request takes the slow-log path
+		}
+		s := serve.New(opts)
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s.Drain(ctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			ts.Close()
+		}()
+		if obsOn {
+			sampler := oplog.NewRuntimeSampler(reg)
+			sampler.AddGauge("serve.sessions_live", "live sessions",
+				func() int64 { return int64(s.SessionCount()) })
+			defer sampler.Start(time.Millisecond)()
+		}
+		script, err := serve.SeededScript(net, 11, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script.Provenance = obsOn
+		if _, err := script.RunHTTP(ts.Client(), ts.URL, workers); err != nil {
+			t.Fatal(err)
+		}
+		return script, reg.Snapshot().Deterministic()
+	}
+
+	for _, workers := range []int{1, 4} {
+		off, offSnap := run(workers, false)
+		on, onSnap := run(workers, true)
+
+		if !reflect.DeepEqual(off.Base.Paths, on.Base.Paths) {
+			t.Errorf("workers=%d: base bounds differ with observability on", workers)
+		}
+		for i := range off.Steps {
+			a, b := off.Steps[i].Response, on.Steps[i].Response
+			if !reflect.DeepEqual(a.Paths, b.Paths) {
+				t.Errorf("workers=%d step %d %v: bounds differ with observability on",
+					workers, i, off.Steps[i].Deltas)
+			}
+			if a.Seq != b.Seq || a.Committed != b.Committed {
+				t.Errorf("workers=%d step %d: round bookkeeping differs (%d/%v vs %d/%v)",
+					workers, i, a.Seq, a.Committed, b.Seq, b.Committed)
+			}
+			if b.Provenance == nil {
+				t.Errorf("workers=%d step %d: provenance missing on the observed run", workers, i)
+			}
+		}
+		if len(offSnap.Counters) == 0 {
+			t.Fatal("served run registered no deterministic counters")
+		}
+		if !reflect.DeepEqual(offSnap, onSnap) {
+			t.Errorf("workers=%d: Deterministic snapshot differs with observability on:\noff: %+v\non:  %+v",
+				workers, offSnap, onSnap)
+		}
+		// The fully observed script must still verify against cold
+		// anchors — observation cannot move a bound off its anchor.
+		for _, par := range []int{1, 4} {
+			mm, err := on.VerifyCold(context.Background(), afdx.Strict, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range mm {
+				t.Errorf("workers=%d cold par=%d: %s", workers, par, m)
 			}
 		}
 	}
