@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the expanded verification
 # gate (build, gofmt, vet, tests, race detector); see check.sh.
 
-.PHONY: build test check lint vet-tool fmt bench bench-pr3 bench-pr4 bench-pr5 bench-pr7 bench-pr8 bench-pr9 serve profile conformance fuzz-smoke
+.PHONY: build test check lint vet-tool fmt bench bench-pr3 bench-pr4 bench-pr5 bench-pr7 bench-pr8 bench-pr9 bench-pr10 serve profile conformance fuzz-smoke
 
 build:
 	go build ./...
@@ -86,6 +86,17 @@ bench-pr9:
 	for i in 1 2 3 4; do \
 		go test -run '^$$' -bench 'ServeWhatIfObs(Off|On)$$' -benchtime 5x ./internal/serve || exit 1; \
 	done | tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR9.json
+
+# Price the NC tightness/cost ladder: each analysis tier (TFA, WCNC,
+# FIFO) run cold and sequentially on the industrial configuration,
+# recorded as tier_cold_pairs in BENCH_PR10.json with each tier's cost
+# relative to the WCNC default. The conformance oracle enforces the
+# cross-tier ordering (cheaper never tighter), so the recorded ratios
+# are the pure wall-time side of the trade; pairs use the fastest of 3
+# samples. Expected: TFA <= ~1x, FIFO a small multiple of WCNC.
+bench-pr10:
+	go test -run '^$$' -bench 'NCIndustrialTier(TFA|WCNC|FIFO)Cold$$' -benchtime 2x -count 3 . \
+		| tee /dev/stderr | go run ./cmd/afdx-benchjson -o BENCH_PR10.json
 
 # Start the analysis daemon on the default loopback port (see README
 # "Serving" for the curl walkthrough; Ctrl-C drains gracefully).

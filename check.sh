@@ -19,6 +19,9 @@
 #   9. flat hot-path smoke   (a third campaign on yet another seed,
 #                             cross-checking the flattened trajectory
 #                             hot path against the oracle's invariants)
+#   9b. cross-tier smoke     (a fourth campaign on a fresh seed with the
+#                             full NC analysis-tier ladder selected:
+#                             tier-ordering + per-tier parallel parity)
 #  10. served conformance    (afdx-serve -selfcheck: a seeded 20-delta
 #                             script replayed through a live daemon over
 #                             HTTP with the full observability stack on
@@ -87,6 +90,15 @@ echo "== flat hot-path smoke (30-config conformance slice)"
 # configuration, so an indexing or scratch-reuse bug in the flat engine
 # surfaces here even if the unit corpus misses it.
 go run ./cmd/afdx-conformance -n 30 -seed 11 -quiet
+
+echo "== cross-tier ordering smoke (30-config conformance slice, full ladder)"
+# Another fresh seed, aimed at the NC tightness/cost ladder: on every
+# configuration the oracle runs all three analysis tiers (TFA, WCNC,
+# FIFO) and enforces the tier-ordering invariant — a cheaper tier is
+# never tighter than a costlier one, simulation and the exact search
+# stay below even the tightest tier, and the non-default tiers keep
+# parallel parity at workers 1 and N.
+go run ./cmd/afdx-conformance -n 30 -seed 17 -analysis TFA,WCNC,FIFO -quiet
 
 echo "== served conformance (daemon vs cold bit-identity, observability on)"
 # The serving smoke: generate a mid-size configuration, start afdx-serve

@@ -9,6 +9,15 @@
 //	afdx-bounds -config net.json -method nc      # Network Calculus only
 //	afdx-bounds -config net.json -no-grouping    # disable serialization
 //	afdx-bounds -config net.json -csv > out.csv  # machine-readable
+//	afdx-bounds -config net.json -analysis FIFO  # tighter, costlier NC tier
+//	afdx-bounds -config net.json -analysis TFA,FIFO  # per-path min of tiers
+//
+// -analysis selects the Network Calculus tightness/cost tier: TFA
+// (cheapest, per-flow separated), WCNC (the paper's default), or FIFO
+// (tightest, per-aggregate residual service). A comma-separated list
+// runs every listed tier and keeps the per-path minimum — sound,
+// because each tier bounds the same worst case. What-if mode (-delta /
+// -whatif) accepts a single tier only.
 //
 // What-if mode re-analyses the configuration under deltas without
 // re-running the full analysis: after the base table, each -delta (or
@@ -89,6 +98,7 @@ func main() {
 		backlog    = flag.Bool("backlog", false, "also print per-port backlog bounds (NC)")
 		jitter     = flag.Bool("jitter", false, "also print per-path jitter (bound minus idle-network floor)")
 		esJitter   = flag.Bool("es-jitter", false, "also print the ARINC 664 end-system output jitter report")
+		analysis   = flag.String("analysis", "WCNC", "NC analysis tier(s), comma-separated: TFA | WCNC | FIFO; several tiers keep the per-path minimum (every tier is sound)")
 		explain    = flag.String("explain", "", "print the trajectory bound decomposition of one path (e.g. v1/0)")
 		whatif     = flag.String("whatif", "", "file of what-if delta commands, one per line ('-' = stdin; blank lines and # comments skipped)")
 	)
@@ -100,7 +110,15 @@ func main() {
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
-	var err error
+	tiers, err := afdx.ParseNCAnalysisList(*analysis)
+	if err != nil {
+		log.Print(err)
+		os.Exit(exitUsage)
+	}
+	if len(tiers) > 1 && (len(deltaCmds) > 0 || *whatif != "") {
+		log.Printf("-delta/-whatif need a single -analysis tier, got %q", *analysis)
+		os.Exit(exitUsage)
+	}
 	if sess, err = obsFlags.Start(); err != nil {
 		fail(exitUsage, err)
 	}
@@ -127,17 +145,40 @@ func main() {
 	trOpts.Grouping = !*noGrouping
 	ncOpts.Parallel = *parallelN
 	trOpts.Parallel = *parallelN
+	ncOpts.Analysis = tiers[0]
 
 	var (
 		ncDelays, trDelays map[afdx.PathID]float64
 		ncRes              *afdx.NCResult
 	)
 	if *method == "nc" || *method == "both" {
-		ncRes, err = afdx.AnalyzeNCCtx(ctx, pg, ncOpts)
-		if err != nil {
-			fail(exitAnalysis, err)
+		// Each selected tier is a sound bound on the same worst case, so
+		// the per-path minimum across tiers is itself sound.
+		for i, tier := range tiers {
+			o := ncOpts
+			o.Analysis = tier
+			res, err := afdx.AnalyzeNCCtx(ctx, pg, o)
+			if err != nil {
+				fail(exitAnalysis, err)
+			}
+			if i == 0 {
+				ncRes = res
+				ncDelays = res.PathDelays
+				continue
+			}
+			if i == 1 { // stop aliasing the first tier's map before merging
+				merged := make(map[afdx.PathID]float64, len(ncDelays))
+				for pid, d := range ncDelays {
+					merged[pid] = d
+				}
+				ncDelays = merged
+			}
+			for pid, d := range res.PathDelays {
+				if d < ncDelays[pid] {
+					ncDelays[pid] = d
+				}
+			}
 		}
-		ncDelays = ncRes.PathDelays
 	}
 	if *method == "trajectory" || *method == "both" {
 		tr, err := afdx.AnalyzeTrajectoryCtx(ctx, pg, trOpts)
@@ -153,7 +194,15 @@ func main() {
 
 	paths := sortedPaths(net)
 
-	headers, rows, err := boundsTable(pg, paths, ncDelays, trDelays, *jitter)
+	ncLabel := tiers[0].String()
+	if len(tiers) > 1 {
+		names := make([]string, len(tiers))
+		for i, tier := range tiers {
+			names[i] = tier.String()
+		}
+		ncLabel = "min(" + strings.Join(names, ",") + ")"
+	}
+	headers, rows, err := boundsTable(pg, paths, ncLabel, ncDelays, trDelays, *jitter)
 	if err != nil {
 		fail(exitAnalysis, err)
 	}
@@ -264,11 +313,12 @@ func sortedPaths(net *afdx.Network) []afdx.PathID {
 }
 
 // boundsTable renders the per-path bounds table; either delay map may
-// be nil (single-method runs), dropping its columns.
-func boundsTable(pg *afdx.PortGraph, paths []afdx.PathID, ncDelays, trDelays map[afdx.PathID]float64, jitter bool) ([]string, [][]string, error) {
+// be nil (single-method runs), dropping its columns. ncLabel names the
+// NC column after the selected analysis tier(s).
+func boundsTable(pg *afdx.PortGraph, paths []afdx.PathID, ncLabel string, ncDelays, trDelays map[afdx.PathID]float64, jitter bool) ([]string, [][]string, error) {
 	headers := []string{"path"}
 	if ncDelays != nil {
-		headers = append(headers, "WCNC (us)")
+		headers = append(headers, ncLabel+" (us)")
 	}
 	if trDelays != nil {
 		headers = append(headers, "Trajectory (us)")
@@ -356,7 +406,7 @@ func runWhatIf(ctx context.Context, net *afdx.Network, mode afdx.ValidationMode,
 		}
 		fmt.Printf("\nwhat-if: %s\n", d)
 		pg := ws.PortGraph()
-		headers, rows, err := boundsTable(pg, sortedPaths(pg.Net), res.NC.PathDelays, res.Trajectory.PathDelays, jitter)
+		headers, rows, err := boundsTable(pg, sortedPaths(pg.Net), ncOpts.Analysis.String(), res.NC.PathDelays, res.Trajectory.PathDelays, jitter)
 		if err != nil {
 			fail(exitAnalysis, err)
 		}

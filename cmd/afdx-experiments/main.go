@@ -7,6 +7,7 @@
 //	afdx-experiments -exp table1    # one experiment
 //	afdx-experiments -list          # list experiment IDs
 //	afdx-experiments -seed 7        # different synthetic configuration
+//	afdx-experiments -analysis FIFO # tighter NC tier for the NC columns
 //
 // Both configurations the experiments analyse (the paper's Figure 2
 // sample and the seeded synthetic industrial network) are linted before
@@ -37,10 +38,15 @@ func main() {
 		parallelN = flag.Int("parallel", 0, "analysis worker count (0 = all CPUs, 1 = sequential; tables are identical either way)")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		noLint    = flag.Bool("no-lint", false, "skip the lint pre-flight gate")
+		analysis  = flag.String("analysis", "WCNC", "NC analysis tier for the experiments' NC runs: TFA | WCNC | FIFO (the 'tiers' experiment sweeps the full ladder regardless)")
 	)
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
-	var err error
+	tier, err := afdx.ParseNCAnalysis(*analysis)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
 	if sess, err = obsFlags.Start(); err != nil {
 		log.Print(err)
 		os.Exit(2)
@@ -55,7 +61,7 @@ func main() {
 	if !*noLint {
 		preflight(*seed)
 	}
-	cfg := experiments.Config{Seed: *seed, Parallel: *parallelN, Ctx: sess.Context()}
+	cfg := experiments.Config{Seed: *seed, Parallel: *parallelN, Analysis: tier, Ctx: sess.Context()}
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s: %s ===\n\n", e.ID, e.Title)
 		if err := e.Run(os.Stdout, cfg); err != nil {

@@ -20,6 +20,11 @@ const (
 	FaultNCOptimistic Fault = iota
 	// FaultTrajectoryOptimistic halves every Trajectory path bound.
 	FaultTrajectoryOptimistic
+	// FaultTFAOptimistic quarters every path bound of the TFA tier only
+	// — an unsoundly "tightened" cheap tier that inverts the ladder.
+	// The tier-ordering invariant must expose it (the default pipeline
+	// is untouched, so no other invariant will).
+	FaultTFAOptimistic
 )
 
 // FaultyOracle returns an oracle whose engines carry the given defect.
@@ -43,6 +48,20 @@ func FaultyOracle(f Fault) *Oracle {
 				halved.PathDelays[pid] = d / 2
 			}
 			return &halved, nil
+		}
+	case FaultTFAOptimistic:
+		real := o.Engines.NC
+		o.Engines.NC = func(ctx context.Context, pg *afdx.PortGraph, opts netcalc.Options) (*netcalc.Result, error) {
+			r, err := real(ctx, pg, opts)
+			if err != nil || opts.Analysis != netcalc.AnalysisTFA {
+				return r, err
+			}
+			scaled := *r
+			scaled.PathDelays = map[afdx.PathID]float64{}
+			for pid, d := range r.PathDelays {
+				scaled.PathDelays[pid] = d / 4
+			}
+			return &scaled, nil
 		}
 	case FaultTrajectoryOptimistic:
 		real := o.Engines.Trajectory

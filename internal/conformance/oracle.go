@@ -88,6 +88,11 @@ const (
 	// cold engine runs on the replayed configurations, at worker counts
 	// 1 and ParityWorkers.
 	InvServedParity Invariant = "served-parity"
+	// InvTierOrdering: the NC analysis tiers order by tightness — the
+	// cheap TFA tier is never tighter than WCNC, the costly FIFO tier
+	// never looser — and simulation and the exact search stay below
+	// even the tightest tier; non-default tiers keep parallel parity.
+	InvTierOrdering Invariant = "tier-ordering"
 )
 
 // Violation is one failed invariant on one configuration.
@@ -157,6 +162,11 @@ type Oracle struct {
 	// cross-check and of the parity tier, and is reported as a
 	// violation.
 	Incremental bool
+	// Tiers restricts the tier-ordering leg to these NC analysis tiers
+	// (nil/empty = the full ladder). WCNC entries are ignored: it is
+	// the ordering's reference point and always runs. The campaign
+	// driver's -analysis flag sets this.
+	Tiers []netcalc.Analysis
 	// Served enables the served-parity tier: a seeded delta script is
 	// played against an in-process afdx-serve instance over real HTTP
 	// and the recorded answers are re-derived cold. Off by default —
@@ -238,7 +248,11 @@ func (o *Oracle) CheckCtx(ctx context.Context, net *afdx.Network) ([]Violation, 
 	doGrouping := want(InvGroupingTightens)
 	doCombined := want(InvCombinedMin)
 	doDeterminism := want(InvParallelParity, InvRepeatability)
-	doBehaviour := want(InvSimVsNC, InvSimVsTrajectory, InvSimVsExact, InvExactVsBounds)
+	doTiers := want(InvTierOrdering)
+	// The tier ladder's behavioural leg (sim/exact vs the FIFO tier)
+	// reports under InvTierOrdering, so a tier-ordering shrink re-runs
+	// the behavioural tier too.
+	doBehaviour := want(InvSimVsNC, InvSimVsTrajectory, InvSimVsExact, InvExactVsBounds, InvTierOrdering)
 	doMeta := !o.SkipMetamorphic && want(InvMonotoneBAG, InvMonotoneSMax)
 	doIncr := o.Incremental && !o.SkipMetamorphic && want(InvIncrementalParity)
 	doServed := o.Served && !o.SkipMetamorphic && want(InvServedParity)
@@ -263,9 +277,9 @@ func (o *Oracle) CheckCtx(ctx context.Context, net *afdx.Network) ([]Violation, 
 			return trajectory.AnalyzeWithCacheCtx(ctx, pg, opts, pool.trCache(opts))
 		}
 	}
-	var ncG, ncU *netcalc.Result
+	var ncG, ncU, ncT, ncF *netcalc.Result
 	var trG, trU *trajectory.Result
-	if doGrouping || doCombined || doDeterminism || doBehaviour || doMeta {
+	if doGrouping || doCombined || doDeterminism || doBehaviour || doMeta || doTiers {
 		if ncG, err = runNC(ctx, pg, netcalc.Options{Grouping: true, Parallel: 1}); err != nil {
 			return nil, fmt.Errorf("conformance: netcalc (grouped): %w", err)
 		}
@@ -273,6 +287,16 @@ func (o *Oracle) CheckCtx(ctx context.Context, net *afdx.Network) ([]Violation, 
 	if doGrouping {
 		if ncU, err = runNC(ctx, pg, netcalc.Options{Grouping: false, Parallel: 1}); err != nil {
 			return nil, fmt.Errorf("conformance: netcalc (ungrouped): %w", err)
+		}
+	}
+	if doTiers && o.tierSelected(netcalc.AnalysisTFA) {
+		if ncT, err = runNC(ctx, pg, tierOptions(netcalc.AnalysisTFA, 1)); err != nil {
+			return nil, fmt.Errorf("conformance: netcalc (TFA tier): %w", err)
+		}
+	}
+	if doTiers && o.tierSelected(netcalc.AnalysisFIFO) {
+		if ncF, err = runNC(ctx, pg, tierOptions(netcalc.AnalysisFIFO, 1)); err != nil {
+			return nil, fmt.Errorf("conformance: netcalc (FIFO tier): %w", err)
 		}
 	}
 	if doGrouping || doCombined || doDeterminism {
@@ -326,6 +350,11 @@ func (o *Oracle) CheckCtx(ctx context.Context, net *afdx.Network) ([]Violation, 
 		}
 	}
 
+	// Cross-tier ordering and non-default-tier parity.
+	if doTiers {
+		vs = append(vs, o.checkTiers(ctx, pg, ncT, ncG, ncF)...)
+	}
+
 	// Parallel parity and repeatability: bit-identical results across
 	// worker counts and across repeated runs.
 	if doDeterminism {
@@ -333,9 +362,11 @@ func (o *Oracle) CheckCtx(ctx context.Context, net *afdx.Network) ([]Violation, 
 	}
 
 	// Behavioural tier: simulation (pinned and randomized offsets) and,
-	// on small configurations, the exact offset search.
+	// on small configurations, the exact offset search. ncF (the FIFO
+	// tier, nil when the tier leg is off) tightens the chain: observed
+	// and achievable delays must stay below even the tightest tier.
 	if doBehaviour {
-		vs = append(vs, o.checkBehaviour(ctx, pg, ncG, trU)...)
+		vs = append(vs, o.checkBehaviour(ctx, pg, ncG, trU, ncF)...)
 	}
 
 	// Metamorphic tier: tightening a contract never loosens any bound.
@@ -439,7 +470,11 @@ func diffPathDelays(inv Invariant, engine string, a, b map[afdx.PathID]float64) 
 
 // checkBehaviour runs the simulator (and on small configurations the
 // exact search) and asserts the observed ≤ achievable ≤ bound chain.
-func (o *Oracle) checkBehaviour(ctx context.Context, pg *afdx.PortGraph, ncG *netcalc.Result, trU *trajectory.Result) []Violation {
+// With ncF set (the FIFO tier's sequential run), observed and exact
+// delays are additionally held below the tightest tier — reported
+// under InvTierOrdering, since an unsound refinement is a ladder bug,
+// not a default-pipeline one.
+func (o *Oracle) checkBehaviour(ctx context.Context, pg *afdx.PortGraph, ncG *netcalc.Result, trU *trajectory.Result, ncF *netcalc.Result) []Violation {
 	var vs []Violation
 	maxBag := 0.0
 	for _, v := range pg.Net.VLs {
@@ -460,6 +495,10 @@ func (o *Oracle) checkBehaviour(ctx context.Context, pg *afdx.PortGraph, ncG *ne
 			}
 			if !leq(st.MaxDelayUs, trU.PathDelays[pid]) {
 				vs = append(vs, Violation{InvSimVsTrajectory, pid, st.MaxDelayUs, trU.PathDelays[pid], label})
+			}
+			if ncF != nil && !leq(st.MaxDelayUs, ncF.PathDelays[pid]) {
+				vs = append(vs, Violation{InvTierOrdering, pid, st.MaxDelayUs, ncF.PathDelays[pid],
+					label + ": observed delay beat the FIFO tier"})
 			}
 		}
 	}
@@ -515,6 +554,10 @@ func (o *Oracle) checkBehaviour(ctx context.Context, pg *afdx.PortGraph, ncG *ne
 	for _, pid := range sortedPathKeys(ex.Delays) {
 		if d := ex.Delays[pid]; !leq(d, bound(pid)) {
 			vs = append(vs, Violation{InvExactVsBounds, pid, d, bound(pid), "exact search beat the analytic bounds"})
+		}
+		if d := ex.Delays[pid]; ncF != nil && !leq(d, ncF.PathDelays[pid]) {
+			vs = append(vs, Violation{InvTierOrdering, pid, d, ncF.PathDelays[pid],
+				"exact search beat the FIFO tier"})
 		}
 	}
 	for _, pid := range sortedPathKeys(pinnedRes.Paths) {

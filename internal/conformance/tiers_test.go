@@ -1,0 +1,169 @@
+package conformance
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"afdx/internal/afdx"
+	"afdx/internal/configgen"
+	"afdx/internal/netcalc"
+)
+
+// analyzeTiers runs one configuration through the whole ladder
+// sequentially and returns the three results keyed by tier.
+func analyzeTiers(t *testing.T, net *afdx.Network) map[netcalc.Analysis]*netcalc.Result {
+	t.Helper()
+	pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[netcalc.Analysis]*netcalc.Result{}
+	for _, tier := range netcalc.Analyses() {
+		res, err := netcalc.Analyze(pg, tierOptions(tier, 1))
+		if err != nil {
+			t.Fatalf("%v tier: %v", tier, err)
+		}
+		out[tier] = res
+	}
+	return out
+}
+
+// checkLadder asserts FIFO <= WCNC <= TFA on every path of one
+// configuration at the repository-wide relative tolerance.
+func checkLadder(t *testing.T, label string, byTier map[netcalc.Analysis]*netcalc.Result) {
+	t.Helper()
+	wcnc := byTier[netcalc.AnalysisWCNC]
+	tfa := byTier[netcalc.AnalysisTFA]
+	fifo := byTier[netcalc.AnalysisFIFO]
+	if len(wcnc.PathDelays) == 0 {
+		t.Fatalf("%s: no paths analyzed", label)
+	}
+	for _, pid := range sortedPathKeys(wcnc.PathDelays) {
+		w := wcnc.PathDelays[pid]
+		f, okF := fifo.PathDelays[pid]
+		a, okT := tfa.PathDelays[pid]
+		if !okF || !okT {
+			t.Fatalf("%s: %v missing from a tier (TFA %v, FIFO %v)", label, pid, okT, okF)
+		}
+		if !leq(w, a) {
+			t.Errorf("%s: %v: TFA %v tighter than WCNC %v (cheaper tier must never be tighter)", label, pid, a, w)
+		}
+		if !leq(f, w) {
+			t.Errorf("%s: %v: FIFO %v looser than WCNC %v (costlier tier must never be looser)", label, pid, f, w)
+		}
+	}
+}
+
+// TestTierOrderingLintGoldenCorpus runs the cross-tier ordering
+// property over every analyzable configuration in the lint golden
+// corpus. Files constructed to trip a validator (bad BAGs, routing
+// loops, …) are skipped — they cannot reach the analysis engines — but
+// the test insists several corpus files do make it through, so a
+// regression in the loader cannot quietly empty the property.
+func TestTierOrderingLintGoldenCorpus(t *testing.T) {
+	dir := filepath.Join("..", "lint", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzed := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		net, err := afdx.LoadJSON(filepath.Join(dir, e.Name()), afdx.Strict)
+		if err != nil {
+			continue // a deliberately-defective corpus entry
+		}
+		pg, err := afdx.BuildPortGraph(net, afdx.Strict)
+		if err != nil {
+			continue
+		}
+		byTier := map[netcalc.Analysis]*netcalc.Result{}
+		rejected := 0
+		for _, tier := range netcalc.Analyses() {
+			res, err := netcalc.Analyze(pg, tierOptions(tier, 1))
+			if err != nil {
+				rejected++
+				continue
+			}
+			byTier[tier] = res
+		}
+		if rejected > 0 {
+			// An unstable corpus entry (e.g. an overloaded port) must be
+			// rejected by every tier, not silently analyzed by some.
+			if rejected != len(netcalc.Analyses()) {
+				t.Errorf("%s: %d of %d tiers rejected the config; all or none must",
+					e.Name(), rejected, len(netcalc.Analyses()))
+			}
+			continue
+		}
+		checkLadder(t, e.Name(), byTier)
+		analyzed++
+	}
+	if analyzed < 3 {
+		t.Fatalf("only %d lint corpus files were analyzable; the corpus or the loader regressed", analyzed)
+	}
+}
+
+// TestTierOrderingHundredSeeds is the bulk ordering property: 120
+// generated configurations spanning the campaign generator's spread,
+// each held to FIFO <= WCNC <= TFA on every path.
+func TestTierOrderingHundredSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bulk tier sweep skipped in -short mode")
+	}
+	for i := 0; i < 120; i++ {
+		net, err := configgen.Generate(campaignSpec(17, i))
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		checkLadder(t, net.Name, analyzeTiers(t, net))
+	}
+}
+
+// TestOracleCatchesTFAFault proves the tier-ordering invariant has
+// teeth: an engine whose TFA tier is unsoundly "tightened" (bounds
+// quartered) leaves the default pipeline untouched, so only the
+// cross-tier check can expose it — and must.
+func TestOracleCatchesTFAFault(t *testing.T) {
+	o := FaultyOracle(FaultTFAOptimistic)
+	net, err := configgen.Generate(campaignSpec(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := o.Check(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := map[Invariant]bool{}
+	for _, v := range vs {
+		caught[v.Invariant] = true
+	}
+	if !caught[InvTierOrdering] {
+		t.Fatalf("oracle failed to catch the quartered TFA tier: %v", vs)
+	}
+
+	small := o.Shrink(net, InvTierOrdering, 60)
+	if n := len(small.VLs); n > 5 {
+		t.Errorf("shrinker left %d VLs, want <= 5", n)
+	}
+	svs, err := o.Check(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range svs {
+		if v.Invariant == InvTierOrdering {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("shrunk config no longer reproduces tier-ordering: %v", svs)
+	}
+	if err := small.Validate(afdx.Strict); err != nil {
+		t.Errorf("shrunk config does not validate: %v", err)
+	}
+}

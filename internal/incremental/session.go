@@ -66,6 +66,7 @@ type Session struct {
 	net    *afdx.Network
 	pg     *afdx.PortGraph
 	nc     *netcalc.Cache
+	ncTier map[netcalc.Analysis]*netcalc.Cache // non-default tiers, lazily wired
 	tr     *trajectory.Cache
 	closed bool
 }
@@ -149,6 +150,33 @@ func Apply(n *afdx.Network, deltas ...Delta) error {
 	return nil
 }
 
+// ncCacheFor returns the NC cache and option set for one analysis
+// tier. The session's default tier keeps the primary cache (which may
+// be shared with the trajectory engine's prefix run); every other tier
+// gets its own lazily created cache — a netcalc.Cache is bound to one
+// exact option set, so per-tier caches are what keeps alternating-tier
+// clients warm instead of thrashing one cache's generation slots. The
+// tier caches share the default cache's per-graph fingerprint memo
+// (fingerprints are option-independent), so each round renders the
+// graph once however many tiers it is analysed under.
+func (s *Session) ncCacheFor(tier netcalc.Analysis) (*netcalc.Cache, netcalc.Options) {
+	o := s.opts.NC
+	o.Analysis = tier
+	if tier == s.opts.NC.Analysis {
+		return s.nc, o
+	}
+	c, ok := s.ncTier[tier]
+	if !ok {
+		c = netcalc.NewCache(o)
+		c.ShareGraphMemo(s.nc)
+		if s.ncTier == nil {
+			s.ncTier = map[netcalc.Analysis]*netcalc.Cache{}
+		}
+		s.ncTier[tier] = c
+	}
+	return c, o
+}
+
 // Analyze runs both engines over the current configuration through the
 // session's caches and assembles the combined comparison. Ports and
 // paths whose inputs are unchanged since the previous Analyze are
@@ -160,7 +188,21 @@ func (s *Session) Analyze(ctx context.Context) (*Result, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	nc, err := netcalc.AnalyzeWithCacheCtx(ctx, s.pg, s.opts.NC, s.nc)
+	return s.AnalyzeTier(ctx, s.opts.NC.Analysis)
+}
+
+// AnalyzeTier is Analyze with the NC analysis tier overridden for this
+// round only: the NC engine runs under the session's options with
+// Analysis swapped to tier, through that tier's dedicated cache. The
+// trajectory engine is tier-independent and runs unchanged, so the
+// combined comparison is min(tier's NC bound, trajectory) — sound for
+// every tier. Bounds are bit-identical to a cold run at the same tier.
+func (s *Session) AnalyzeTier(ctx context.Context, tier netcalc.Analysis) (*Result, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	cache, ncOpts := s.ncCacheFor(tier)
+	nc, err := netcalc.AnalyzeWithCacheCtx(ctx, s.pg, ncOpts, cache)
 	if err != nil {
 		return nil, fmt.Errorf("incremental: network calculus analysis: %w", err)
 	}
@@ -185,6 +227,15 @@ func (s *Session) WhatIf(ctx context.Context, deltas ...Delta) (*Result, error) 
 	return s.Analyze(ctx)
 }
 
+// WhatIfTier is WhatIf with the NC analysis tier overridden for this
+// round.
+func (s *Session) WhatIfTier(ctx context.Context, tier netcalc.Analysis, deltas ...Delta) (*Result, error) {
+	if err := s.Apply(deltas...); err != nil {
+		return nil, err
+	}
+	return s.AnalyzeTier(ctx, tier)
+}
+
 // Peek is WhatIf without the commit: the deltas are applied, the
 // mutated configuration analysed through the session's caches, and the
 // session's configuration restored — the next Analyze sees the state
@@ -193,6 +244,11 @@ func (s *Session) WhatIf(ctx context.Context, deltas ...Delta) (*Result, error) 
 // apply/restore alternation cheap), so peeking never degrades later
 // rounds. The serving layer's /whatif endpoint is this call.
 func (s *Session) Peek(ctx context.Context, deltas ...Delta) (*Result, error) {
+	return s.PeekTier(ctx, s.opts.NC.Analysis, deltas...)
+}
+
+// PeekTier is Peek with the NC analysis tier overridden for this round.
+func (s *Session) PeekTier(ctx context.Context, tier netcalc.Analysis, deltas ...Delta) (*Result, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
@@ -200,7 +256,7 @@ func (s *Session) Peek(ctx context.Context, deltas ...Delta) (*Result, error) {
 	if err := s.Apply(deltas...); err != nil {
 		return nil, err
 	}
-	res, err := s.Analyze(ctx)
+	res, err := s.AnalyzeTier(ctx, tier)
 	s.net, s.pg = savedNet, savedPG
 	return res, err
 }
@@ -214,5 +270,5 @@ func (s *Session) Peek(ctx context.Context, deltas ...Delta) (*Result, error) {
 // bounds.
 func (s *Session) Close() {
 	s.closed = true
-	s.net, s.pg, s.nc, s.tr = nil, nil, nil, nil
+	s.net, s.pg, s.nc, s.ncTier, s.tr = nil, nil, nil, nil, nil
 }

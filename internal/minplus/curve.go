@@ -124,6 +124,40 @@ func Plateau(v float64) Curve {
 	return Curve{segs: []Segment{{X: 0, Y: v, Slope: 0}}}
 }
 
+// Delay returns the pure-delay service curve delta_d: 0 on [0, d] and
+// +Inf beyond. A server offering delta_d guarantees every bit is out
+// within d; deconvolving an arrival envelope against it yields the
+// exact output envelope f(t + d) (no finite-rate approximation).
+// d <= 0 degenerates to the (min,+) identity: 0 at the origin, +Inf
+// for every positive t.
+func Delay(d float64) Curve {
+	if d <= 0 {
+		return Curve{segs: []Segment{{X: 0, Y: 0, Slope: math.Inf(1)}}}
+	}
+	return Curve{segs: []Segment{
+		{X: 0, Y: 0, Slope: 0},
+		{X: d, Y: math.Inf(1), Slope: 0},
+	}}
+}
+
+// delayOf reports whether c is a pure-delay curve (built by Delay) and
+// returns its delay. Pure delays are the only curves in the package
+// with an infinite ordinate, so the shape test is exact.
+func (c Curve) delayOf() (float64, bool) {
+	switch len(c.segs) {
+	case 1:
+		if s := c.segs[0]; s.Y == 0 && math.IsInf(s.Slope, 1) {
+			return 0, true
+		}
+	case 2:
+		a, b := c.segs[0], c.segs[1]
+		if a.Y == 0 && a.Slope == 0 && math.IsInf(b.Y, 1) {
+			return b.X, true
+		}
+	}
+	return 0, false
+}
+
 // normalize merges consecutive collinear segments in place.
 func (c *Curve) normalize() {
 	if len(c.segs) <= 1 {
@@ -162,6 +196,11 @@ func (c Curve) Eval(t float64) float64 {
 		i = 0
 	}
 	s := c.segs[i]
+	if t == s.X {
+		// Exact for finite slopes (Y + Slope*0 == Y) and required for the
+		// pure-delay curve, whose infinite slope would yield Inf*0 = NaN.
+		return s.Y
+	}
 	return s.Y + s.Slope*(t-s.X)
 }
 

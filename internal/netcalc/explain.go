@@ -18,7 +18,8 @@ type PathExplanation struct {
 // PortTerm is one crossed output port's contribution.
 type PortTerm struct {
 	Port afdx.PortID
-	// DelayUs is the port's delay bound for the flow's priority level.
+	// DelayUs is the port's delay bound for this flow: its priority
+	// level's bound, or the per-flow refinement under the FIFO tier.
 	DelayUs float64
 	// LatencyUs, Utilization and NumFlows describe the port.
 	LatencyUs   float64
@@ -50,7 +51,7 @@ func Explain(pg *afdx.PortGraph, pid afdx.PathID, opts Options) (*PathExplanatio
 		key := FlowPortKey{vl.ID, portID}
 		ex.Ports = append(ex.Ports, PortTerm{
 			Port:          portID,
-			DelayUs:       pr.DelayByPriority[vl.Priority],
+			DelayUs:       res.FlowDelays[key],
 			LatencyUs:     port.LatencyUs,
 			Utilization:   pr.Utilization,
 			NumFlows:      len(port.Flows),

@@ -134,7 +134,11 @@ func NewCache(opts Options) *Cache {
 func (c *Cache) ShareGraphMemo(donor *Cache) { c.sig = donor.sig }
 
 // normalizeOpts strips the fields that cannot change results: the
-// worker count. Caches are shared across Parallel values.
+// worker count — and nothing else. Every other Options field, the
+// Analysis tier included, stays in the cache's identity: ensureOpts
+// compares whole normalized Options values, so a warm session that
+// switches tiers discards every entry and can never serve a
+// stale-tier bound (the A/B/A tier-alternation test pins this).
 func normalizeOpts(opts Options) Options {
 	opts.Parallel = 0
 	return opts

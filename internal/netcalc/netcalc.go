@@ -36,6 +36,15 @@ type Options struct {
 	// of the classical burst inflation b <- b + rho*D. This is an
 	// ablation knob; the paper's tool uses burst inflation.
 	Deconvolution bool
+	// Analysis selects the tightness/cost tier (see the Analysis type):
+	// AnalysisWCNC (zero value) is the paper's pipeline, AnalysisTFA the
+	// cheaper per-flow separated variant, AnalysisFIFO the tighter
+	// Bouillard-style per-aggregate refinement. The tier is an ordinary
+	// Options field, so it participates in every Options comparison —
+	// in particular the incremental cache's signature (Cache.ensureOpts)
+	// and the whole-result memo — and a warm session switching tiers can
+	// never be served a stale-tier bound.
+	Analysis Analysis
 	// StairSteps, when positive, replaces each flow's leaky-bucket
 	// envelope with its exact staircase arrival curve (shifted by the
 	// accumulated upstream delay bound), truncated to that many exact
@@ -90,6 +99,12 @@ type Result struct {
 	// PathDelays maps every (VL, destination) path to its end-to-end
 	// delay upper bound in microseconds.
 	PathDelays map[afdx.PathID]float64
+	// FlowDelays maps every (VL, port) incidence to the delay bound the
+	// flow experiences at that port. For the WCNC and TFA tiers this is
+	// the flow's priority-level bound (DelayByPriority); the FIFO tier
+	// refines it per flow through the FIFO residual service. Path bounds
+	// are the sums of these terms along the crossed ports.
+	FlowDelays map[FlowPortKey]float64
 	// PrefixDelays maps (VL, port) to an upper bound on the time between
 	// the frame's emission and its arrival at that port (the sum of the
 	// delay bounds of the ports crossed before it). Used as the S_max
@@ -206,6 +221,7 @@ func analyzeWith(ctx context.Context, pg *afdx.PortGraph, opts Options, c *Cache
 		Opts:         opts,
 		Ports:        make(map[afdx.PortID]PortResult, len(pg.Ports)),
 		PathDelays:   map[afdx.PathID]float64{},
+		FlowDelays:   make(map[FlowPortKey]float64, incidences),
 		PrefixDelays: make(map[FlowPortKey]float64, incidences),
 		Bursts:       make(map[FlowPortKey]float64, incidences),
 	}
@@ -308,11 +324,14 @@ func analyzeWith(ctx context.Context, pg *afdx.PortGraph, opts Options, c *Cache
 			}
 		}
 	}
+	// Path bounds sum the per-flow port terms. For the WCNC and TFA
+	// tiers each term is exactly the flow's priority-level bound, so
+	// this sum is bit-identical to the historical per-level sum; the
+	// FIFO tier's refined terms make it strictly the per-flow total.
 	for _, pid := range pg.Net.AllPaths() {
-		prio := pg.VL(pid.VL).Priority
 		total := 0.0
 		for _, portID := range pg.PathPorts(pid) {
-			total += res.Ports[portID].DelayByPriority[prio]
+			total += res.FlowDelays[FlowPortKey{pid.VL, portID}]
 		}
 		res.PathDelays[pid] = total
 	}
@@ -332,7 +351,7 @@ func flowEnvelope(res *Result, vl *afdx.VirtualLink, port afdx.PortID) (minplus.
 		return minplus.Curve{}, fmt.Errorf("netcalc: no propagated envelope for VL %s at port %s (port order broken)", vl.ID, port)
 	}
 	lb := minplus.LeakyBucket(b, vl.RhoBitsPerUs())
-	if res.Opts.StairSteps <= 0 {
+	if res.Opts.effectiveStairSteps() <= 0 {
 		return lb, nil
 	}
 	// The staircase jitter is the accumulated upstream delay bound: a
@@ -341,7 +360,7 @@ func flowEnvelope(res *Result, vl *afdx.VirtualLink, port afdx.PortID) (minplus.
 	// window of length x holds the frames of a window of length
 	// x + prefixDelay at the source.
 	jitter := res.PrefixDelays[key]
-	stair, err := minplus.StaircaseWithJitter(vl.SMaxBits(), vl.BAGUs(), jitter, res.Opts.StairSteps)
+	stair, err := minplus.StaircaseWithJitter(vl.SMaxBits(), vl.BAGUs(), jitter, res.Opts.effectiveStairSteps())
 	if err != nil {
 		return minplus.Curve{}, fmt.Errorf("netcalc: staircase envelope for VL %s at %s: %w", vl.ID, port, err)
 	}
@@ -360,14 +379,22 @@ type flowWrite struct {
 	prefix float64
 }
 
-// portOutcome is the complete effect of analysing one port: its bounds
-// plus the envelope propagations to downstream ports. analyzePort only
-// reads the Result it is given; applying an outcome is the separate,
-// single-writer merge step, which keeps the parallel engine free of
-// concurrent map access.
+// flowDelayTerm is one flow's delay bound at the analysed port (the
+// FlowDelays entry the merge step publishes).
+type flowDelayTerm struct {
+	key   FlowPortKey
+	delay float64
+}
+
+// portOutcome is the complete effect of analysing one port: its bounds,
+// the per-flow delay terms, plus the envelope propagations to
+// downstream ports. analyzePort only reads the Result it is given;
+// applying an outcome is the separate, single-writer merge step, which
+// keeps the parallel engine free of concurrent map access.
 type portOutcome struct {
 	id     afdx.PortID
 	port   PortResult
+	delays []flowDelayTerm
 	writes []flowWrite
 }
 
@@ -378,6 +405,9 @@ type portOutcome struct {
 // reproducible step by step.
 func (r *Result) merge(out *portOutcome) {
 	r.Ports[out.id] = out.port
+	for _, d := range out.delays {
+		r.FlowDelays[d.key] = d.delay
+	}
 	for _, w := range out.writes {
 		r.Bursts[w.key] = w.burst
 		r.PrefixDelays[w.key] = w.prefix
@@ -392,12 +422,14 @@ func analyzePort(rn *ncRun, id afdx.PortID) (*portOutcome, error) {
 	port := pg.Ports[id]
 	beta, ok := rn.betas[betaKey{port.RateBitsPerUs, port.LatencyUs}]
 	if !ok {
-		// Unreachable for ports in pg.Order, but stay correct for any
-		// future direct caller.
-		beta = minplus.RateLatency(port.RateBitsPerUs, port.LatencyUs)
-	} else {
-		rn.m.betaHits.Inc()
+		// The engine precomputes every port's service curve before the
+		// rank fan-out; a miss means analyzePort ran outside an engine
+		// run, which would silently skip the beta-cache accounting. Hard
+		// invariant error rather than untested fallback code.
+		return nil, fmt.Errorf("netcalc: port %s: service curve (rate %g, latency %g) not precomputed (analyzePort called outside an engine run)",
+			id, port.RateBitsPerUs, port.LatencyUs)
 	}
+	rn.m.betaHits.Inc()
 
 	// Grouped aggregate arrival curve per priority level, plus the total
 	// for stability and backlog. Groups and levels are iterated in
@@ -406,6 +438,25 @@ func analyzePort(rn *ncRun, id afdx.PortID) (*portOutcome, error) {
 	levelAgg := map[int]minplus.Curve{}
 	levels := []int{}
 	rhoSum := 0.0
+	// The FIFO tier's per-flow refinement needs concave building blocks
+	// (the residual op requires a concave cross envelope): each member's
+	// plain leaky bucket plus the group's serialization contract. They
+	// are collected during the aggregation sweep, in the same sorted
+	// group/level order, so the refinement below is deterministic.
+	type fifoMember struct {
+		vl   *afdx.VirtualLink
+		lb   minplus.Curve
+		smax float64
+	}
+	type fifoGroup struct {
+		inRate  float64
+		shaped  bool
+		members []fifoMember
+	}
+	var fifoByLevel map[int][]fifoGroup
+	if res.Opts.Analysis == AnalysisFIFO {
+		fifoByLevel = map[int][]fifoGroup{}
+	}
 	// Envelope constructions are counted locally and flushed in one Add
 	// per port: a per-flow atomic increment from every worker contends
 	// on one cache line for no observational gain.
@@ -440,18 +491,32 @@ func analyzePort(rn *ncRun, id afdx.PortID) (*portOutcome, error) {
 					maxFrame = s
 				}
 			}
+			inRate := port.RateBitsPerUs
+			if in := pg.Ports[afdx.PortID{From: g.Prev, To: id.From}]; in != nil {
+				inRate = in.RateBitsPerUs
+			}
 			groupEnv := members
-			if res.Opts.Grouping && g.Prev != "" && len(flows) > 1 {
+			if res.Opts.effectiveGrouping() && g.Prev != "" && len(flows) > 1 {
 				// Serialization on the shared input link: the group
 				// cannot burst faster than the link transmits, one
 				// largest frame ahead (the paper's leaky-bucket shaping
 				// with "a rate equal to the rate of the source" link).
-				inRate := port.RateBitsPerUs
-				if in := pg.Ports[afdx.PortID{From: g.Prev, To: id.From}]; in != nil {
-					inRate = in.RateBitsPerUs
-				}
 				shaping := minplus.LeakyBucket(maxFrame, inRate)
 				groupEnv = minplus.Min(members, shaping)
+			}
+			if fifoByLevel != nil {
+				fg := fifoGroup{
+					inRate: inRate,
+					shaped: res.Opts.effectiveGrouping() && g.Prev != "",
+				}
+				for _, f := range flows {
+					fg.members = append(fg.members, fifoMember{
+						vl:   f.VL,
+						lb:   minplus.LeakyBucket(res.Bursts[FlowPortKey{f.VL.ID, id}], f.VL.RhoBitsPerUs()),
+						smax: f.VL.SMaxBits(),
+					})
+				}
+				fifoByLevel[lvl] = append(fifoByLevel[lvl], fg)
 			}
 			if cur, ok := levelAgg[lvl]; ok {
 				levelAgg[lvl] = minplus.Add(cur, groupEnv)
@@ -475,6 +540,7 @@ func analyzePort(rn *ncRun, id afdx.PortID) (*portOutcome, error) {
 	// blocking frame of the lower levels. With a single level this is
 	// exactly the FIFO analysis of the paper.
 	delayByPrio := map[int]float64{}
+	residualByPrio := map[int]minplus.Curve{}
 	total := minplus.Zero()
 	worst := 0.0
 	higher := minplus.Zero()
@@ -500,6 +566,7 @@ func analyzePort(rn *ncRun, id afdx.PortID) (*portOutcome, error) {
 			return nil, fmt.Errorf("netcalc: port %s: unbounded delay at priority %d", id, lvl)
 		}
 		delayByPrio[lvl] = delay
+		residualByPrio[lvl] = residual
 		if delay > worst {
 			worst = delay
 		}
@@ -517,11 +584,100 @@ func analyzePort(rn *ncRun, id afdx.PortID) (*portOutcome, error) {
 		},
 	}
 
+	// FIFO tier: refine each flow's delay below its level bound D via
+	// the FIFO residual service [residual(t) - cross(t-theta)]+ over a
+	// theta candidate grid in [0, D]. Every theta yields a valid bound
+	// (Le Boudec & Thiran Thm 6.2.2) and D itself is one (the aggregate
+	// bound), so the minimum — explicitly clamped to D — is sound and
+	// never looser than the WCNC tier, port by port.
+	var fifoDelay map[string]float64
+	if fifoByLevel != nil {
+		fifoDelay = make(map[string]float64, len(port.Flows))
+		for _, lvl := range levels {
+			d := delayByPrio[lvl]
+			groups := fifoByLevel[lvl]
+			residual := residualByPrio[lvl]
+			// Shaped concave envelope per group (the cross-traffic view:
+			// plain leaky buckets under the serialization contract).
+			shapedEnv := make([]minplus.Curve, len(groups))
+			for gi, g := range groups {
+				sum := minplus.Zero()
+				maxFrame := 0.0
+				for _, m := range g.members {
+					sum = minplus.Add(sum, m.lb)
+					if m.smax > maxFrame {
+						maxFrame = m.smax
+					}
+				}
+				if g.shaped && len(g.members) > 1 {
+					sum = minplus.Min(sum, minplus.LeakyBucket(maxFrame, g.inRate))
+				}
+				shapedEnv[gi] = sum
+			}
+			// Prefix/suffix sums make "every group but mine" O(1) Adds.
+			prefix := make([]minplus.Curve, len(groups)+1)
+			prefix[0] = minplus.Zero()
+			for gi := range groups {
+				prefix[gi+1] = minplus.Add(prefix[gi], shapedEnv[gi])
+			}
+			suffix := make([]minplus.Curve, len(groups)+1)
+			suffix[len(groups)] = minplus.Zero()
+			for gi := len(groups) - 1; gi >= 0; gi-- {
+				suffix[gi] = minplus.Add(suffix[gi+1], shapedEnv[gi])
+			}
+			for gi, g := range groups {
+				others := minplus.Add(prefix[gi], suffix[gi+1])
+				for mi, m := range g.members {
+					ownSum := minplus.Zero()
+					ownMax := 0.0
+					for mj, mm := range g.members {
+						if mj == mi {
+							continue
+						}
+						ownSum = minplus.Add(ownSum, mm.lb)
+						if mm.smax > ownMax {
+							ownMax = mm.smax
+						}
+					}
+					if g.shaped && len(g.members) > 2 {
+						// The remaining members still share the input link.
+						ownSum = minplus.Min(ownSum, minplus.LeakyBucket(ownMax, g.inRate))
+					}
+					cross := minplus.Add(others, ownSum)
+					env, err := flowEnvelope(res, m.vl, id)
+					if err != nil {
+						return nil, err
+					}
+					best := d
+					for _, frac := range [...]float64{0, 0.25, 0.5, 0.75, 1} {
+						r, err := minplus.FIFOResidual(residual, cross, d*frac)
+						if err != nil {
+							// A degenerate residual (e.g. zero-rate level)
+							// just loses the refinement; the aggregate
+							// bound d stays in force.
+							continue
+						}
+						if fd := minplus.HorizontalDeviation(env, r); fd < best {
+							best = fd
+						}
+					}
+					fifoDelay[m.vl.ID] = best
+				}
+			}
+		}
+	}
+
 	// Propagate each flow's envelope to its next port(s) using its own
-	// priority level's delay bound.
+	// delay bound at this port: the priority level's bound, or the FIFO
+	// tier's per-flow refinement. The per-flow terms are also published
+	// to FlowDelays — path bounds sum them.
 	for _, f := range port.Flows {
 		key := FlowPortKey{f.VL.ID, id}
 		delay := delayByPrio[f.VL.Priority]
+		if fd, ok := fifoDelay[f.VL.ID]; ok {
+			delay = fd
+		}
+		out.delays = append(out.delays, flowDelayTerm{key: key, delay: delay})
 		nextBurst, err := outputBurst(res, f.VL, id, delay)
 		if err != nil {
 			return nil, err
@@ -538,11 +694,13 @@ func analyzePort(rn *ncRun, id afdx.PortID) (*portOutcome, error) {
 }
 
 // outputBurst computes the burst of a flow after it crosses a port whose
-// aggregate delay bound is delay. The classical propagation inflates the
-// burst by rho*delay (the output traffic is bounded by alpha(t+delay));
-// the Deconvolution option instead deconvolves the flow envelope against
-// a latency-only service beta_{R, delay} which yields the same burst for
-// leaky buckets but is kept as an explicit ablation of the theory.
+// delay bound for the flow is delay. The classical propagation inflates
+// the burst by rho*delay (the output traffic is bounded by
+// alpha(t+delay)); the Deconvolution option instead deconvolves the flow
+// envelope against the exact pure-delay service delta_delay, which for
+// leaky buckets evaluates to the identical float expression b + rho*delay
+// at every link rate — the ablation's correctness no longer depends on a
+// finite magic rate (the old stand-in was RateLatency(1e12, delay)).
 func outputBurst(res *Result, vl *afdx.VirtualLink, id afdx.PortID, delay float64) (float64, error) {
 	b := res.Bursts[FlowPortKey{vl.ID, id}]
 	if !res.Opts.Deconvolution {
@@ -550,11 +708,9 @@ func outputBurst(res *Result, vl *afdx.VirtualLink, id afdx.PortID, delay float6
 	}
 	env := minplus.LeakyBucket(b, vl.RhoBitsPerUs())
 	// In FIFO aggregation the flow is guaranteed the aggregate's delay
-	// bound as a pure delay service: beta_delay(t) = +inf for t > delay.
-	// Deconvolving against the delay service gives alpha(t + delay);
-	// we realise it as a very fast rate-latency curve.
-	delayService := minplus.RateLatency(1e12, delay)
-	out, err := minplus.Deconvolve(env, delayService)
+	// bound as a pure delay service: delta_delay(t) = +inf for t > delay.
+	// Deconvolving against it gives alpha(t + delay) exactly.
+	out, err := minplus.Deconvolve(env, minplus.Delay(delay))
 	if err != nil {
 		return 0, fmt.Errorf("netcalc: propagating VL %s past port %s: %w", vl.ID, id, err)
 	}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"afdx/internal/netcalc"
+)
+
+// TestServedTierLadder drives one session through every tier on the
+// same committed configuration and checks the served responses carry
+// the tier name, respect the tightness ordering TFA >= WCNC >= FIFO on
+// every path's NC figure, and anchor bit-identically against cold runs
+// of their own tier.
+func TestServedTierLadder(t *testing.T) {
+	_, ts := newTestServer(t, testOptions())
+	net := testNet(t, 11, 16)
+	cfg, err := json.Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base AnalysisResponse
+	if err := postJSON(ts.Client(), ts.URL+"/v1/sessions?parallel=1", cfg, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Analysis != "WCNC" {
+		t.Errorf("base round analysis = %q, want WCNC default", base.Analysis)
+	}
+
+	// Peek the same tightening delta under each tier; the session's
+	// committed state never changes, so the three answers describe one
+	// configuration.
+	delta := tightenDelta(net.VLs[0])
+	body, _ := json.Marshal(DeltaRequest{Deltas: []string{delta}})
+	byTier := map[string]*AnalysisResponse{}
+	for _, tier := range netcalc.Analyses() {
+		var resp AnalysisResponse
+		url := ts.URL + "/v1/sessions/" + base.Session + "/whatif?analysis=" + tier.String()
+		if err := postJSON(ts.Client(), url, body, &resp); err != nil {
+			t.Fatalf("%v: %v", tier, err)
+		}
+		if resp.Analysis != tier.String() {
+			t.Errorf("%v: response analysis = %q", tier, resp.Analysis)
+		}
+		byTier[tier.String()] = &resp
+	}
+	tfa, wcnc, fifo := byTier["TFA"], byTier["WCNC"], byTier["FIFO"]
+	if len(tfa.Paths) == 0 || len(tfa.Paths) != len(wcnc.Paths) || len(wcnc.Paths) != len(fifo.Paths) {
+		t.Fatalf("path count mismatch across tiers: %d/%d/%d", len(tfa.Paths), len(wcnc.Paths), len(fifo.Paths))
+	}
+	for i := range wcnc.Paths {
+		pt, pw, pf := tfa.Paths[i], wcnc.Paths[i], fifo.Paths[i]
+		if pt.Path != pw.Path || pw.Path != pf.Path {
+			t.Fatalf("path order diverged across tiers at %d", i)
+		}
+		if pw.NCUs > pt.NCUs {
+			t.Errorf("%s: WCNC %v looser-ordering-violating TFA %v", pw.Path, pw.NCUs, pt.NCUs)
+		}
+		if pf.NCUs > pw.NCUs {
+			t.Errorf("%s: FIFO %v looser than WCNC %v", pf.Path, pf.NCUs, pw.NCUs)
+		}
+	}
+
+	// Each tier's served round anchors exactly against a cold run at
+	// that tier (the recorded Analysis field drives the anchor).
+	sc := &Script{Net: net.Clone(), Base: &base}
+	for _, tier := range netcalc.Analyses() {
+		sc.Steps = append(sc.Steps, Step{
+			Deltas:   []string{delta},
+			Analysis: tier.String(),
+			Response: byTier[tier.String()],
+		})
+	}
+	mm, err := sc.VerifyCold(context.Background(), testOptions().Mode, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mm {
+		t.Errorf("served != cold: %s", m)
+	}
+}
+
+// TestServedTierProvenance pins the provenance record's tier field.
+func TestServedTierProvenance(t *testing.T) {
+	_, ts := newTestServer(t, testOptions())
+	net := testNet(t, 13, 8)
+	cfg, err := json.Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base AnalysisResponse
+	if err := postJSON(ts.Client(), ts.URL+"/v1/sessions?provenance=1&analysis=fifo", cfg, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Analysis != "FIFO" {
+		t.Errorf("base analysis = %q, want FIFO", base.Analysis)
+	}
+	if base.Provenance == nil || base.Provenance.Analysis != "FIFO" {
+		t.Errorf("provenance = %+v, want Analysis FIFO", base.Provenance)
+	}
+	body, _ := json.Marshal(DeltaRequest{Deltas: []string{tightenDelta(net.VLs[0])}})
+	var resp AnalysisResponse
+	if err := postJSON(ts.Client(), ts.URL+"/v1/sessions/"+base.Session+"/apply?provenance=1&analysis=tfa", body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Provenance == nil || resp.Provenance.Analysis != "TFA" {
+		t.Errorf("apply provenance = %+v, want Analysis TFA", resp.Provenance)
+	}
+}

@@ -58,6 +58,10 @@ const (
 	// CodeUnknownTrace marks a /v1/trace/{id} lookup for a trace that
 	// was never retained or has been evicted from the ring. HTTP 404.
 	CodeUnknownTrace diag.Code = "SRV012"
+	// CodeUnknownAnalysis marks an ?analysis= value naming no NC tier;
+	// the shared netcalc parser produces the message, so the served
+	// vocabulary matches the CLIs' -analysis flag exactly. HTTP 400.
+	CodeUnknownAnalysis diag.Code = "SRV013"
 )
 
 // ErrorBody is the JSON error payload of every non-2xx response: one
@@ -90,14 +94,18 @@ type PathBound struct {
 
 // AnalysisResponse is one analysis round: the session, a per-session
 // round number, whether the deltas were committed (apply) or peeked
-// (whatif), and every path's bounds in (VL, path index) order.
-// Provenance is present only when the request asked for it
-// (?provenance=1).
+// (whatif), the NC analysis tier the round ran under, and every path's
+// bounds in (VL, path index) order. Provenance is present only when
+// the request asked for it (?provenance=1).
 type AnalysisResponse struct {
-	Session    string      `json:"session"`
-	Seq        int         `json:"seq"`
-	Committed  bool        `json:"committed"`
-	Deltas     []string    `json:"deltas,omitempty"`
+	Session   string   `json:"session"`
+	Seq       int      `json:"seq"`
+	Committed bool     `json:"committed"`
+	Deltas    []string `json:"deltas,omitempty"`
+	// Analysis names the NC tier ("TFA", "WCNC", "FIFO") this round's
+	// ncUs/bestUs/minUs figures were computed under (?analysis=,
+	// default WCNC). Cold verification replays the same tier.
+	Analysis   string      `json:"analysis"`
 	Paths      []PathBound `json:"paths"`
 	Provenance *Provenance `json:"provenance,omitempty"`
 }
@@ -117,6 +125,9 @@ type Provenance struct {
 	// Engines names the bound producers ("netcalc+trajectory": both
 	// engines run and the per-path best is served).
 	Engines string `json:"engines"`
+	// Analysis names the NC tier the round's bounds were computed
+	// under ("TFA", "WCNC", "FIFO").
+	Analysis string `json:"analysis"`
 	// TrajectoryPath is the trajectory evaluation variant ("flat":
 	// the flattened hot path; the reference walker exists only for
 	// differential tests).
@@ -176,7 +187,7 @@ type Health struct {
 // usage/parse = 2 ↔ 400/404/413, analysis failure = 1 ↔ 500).
 func httpStatus(code diag.Code) int {
 	switch code {
-	case CodeParse, CodeBadDelta, CodeInvalidConfig:
+	case CodeParse, CodeBadDelta, CodeInvalidConfig, CodeUnknownAnalysis:
 		return http.StatusBadRequest
 	case CodeLintRejected, CodeDeltaRejected:
 		return http.StatusUnprocessableEntity

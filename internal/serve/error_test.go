@@ -69,6 +69,9 @@ func TestHTTPErrorPaths(t *testing.T) {
 		{"unparseable delta", "/v1/sessions/" + id + "/whatif", `{"deltas":["frobnicate v1 2"]}`, http.StatusBadRequest, CodeBadDelta, false},
 		{"empty delta batch", "/v1/sessions/" + id + "/whatif", `{"deltas":[]}`, http.StatusBadRequest, CodeBadDelta, false},
 		{"delta on unknown VL", "/v1/sessions/" + id + "/whatif", `{"deltas":["drop nosuchvl"]}`, http.StatusUnprocessableEntity, CodeDeltaRejected, false},
+		{"unknown analysis tier on create", "/v1/sessions?analysis=sfa", string(cfg), http.StatusBadRequest, CodeUnknownAnalysis, false},
+		{"unknown analysis tier on whatif", "/v1/sessions/" + id + "/whatif?analysis=pmoo", `{"deltas":["drop v1"]}`, http.StatusBadRequest, CodeUnknownAnalysis, false},
+		{"unknown analysis tier on apply", "/v1/sessions/" + id + "/apply?analysis=nope", `{"deltas":["drop v1"]}`, http.StatusBadRequest, CodeUnknownAnalysis, false},
 		{"apply rejected leaves session usable", "/v1/sessions/" + id + "/apply", `{"deltas":["drop nosuchvl"]}`, http.StatusUnprocessableEntity, CodeDeltaRejected, false},
 	}
 	for _, tc := range cases {

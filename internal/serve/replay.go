@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 
 	"afdx/internal/afdx"
 	"afdx/internal/core"
@@ -26,11 +27,13 @@ import (
 // the numbers.
 
 // Step is one delta round of a recorded script: the ParseDelta-format
-// batch, whether it was committed (/apply) or peeked (/whatif), and —
+// batch, whether it was committed (/apply) or peeked (/whatif), the NC
+// analysis tier requested (?analysis=; "" = the WCNC default), and —
 // after RunHTTP — the bounds the server answered.
 type Step struct {
 	Commit   bool              `json:"commit"`
 	Deltas   []string          `json:"deltas"`
+	Analysis string            `json:"analysis,omitempty"`
 	Response *AnalysisResponse `json:"response,omitempty"`
 }
 
@@ -48,19 +51,23 @@ type Script struct {
 // SeededScript draws a deterministic delta script for a configuration:
 // n steps of BAG doubling, s_max halving, and (rarely) VL drops, each
 // drawn against the state all *committed* prior steps produce, with
-// peeks and commits interleaved. The script is a pure function of
+// peeks and commits interleaved and each step's NC analysis tier drawn
+// uniformly from the ladder — so one replay exercises cross-tier
+// alternation on a warm session. The script is a pure function of
 // (net, seed, n), so the check.sh smoke and the conformance tier replay
 // the exact same traffic.
 func SeededScript(net *afdx.Network, seed int64, n int) (*Script, error) {
 	rng := rand.New(rand.NewSource(seed))
 	cur := net.Clone()
 	sc := &Script{Net: net.Clone()}
+	tiers := netcalc.Analyses()
 	for i := 0; i < n; i++ {
 		cmd := drawDelta(rng, cur)
 		if cmd == "" {
 			break
 		}
 		commit := rng.Intn(2) == 0
+		tier := tiers[rng.Intn(len(tiers))]
 		if commit {
 			d, err := incremental.ParseDelta(cmd)
 			if err != nil {
@@ -70,7 +77,7 @@ func SeededScript(net *afdx.Network, seed int64, n int) (*Script, error) {
 				return nil, fmt.Errorf("serve: seeded script %q: %w", cmd, err)
 			}
 		}
-		sc.Steps = append(sc.Steps, Step{Commit: commit, Deltas: []string{cmd}})
+		sc.Steps = append(sc.Steps, Step{Commit: commit, Deltas: []string{cmd}, Analysis: tier.String()})
 	}
 	return sc, nil
 }
@@ -125,9 +132,9 @@ func (sc *Script) RunHTTP(client *http.Client, baseURL string, parallel int) (st
 	if sc.Provenance {
 		prov = "&provenance=1"
 	}
-	url := fmt.Sprintf("%s/v1/sessions?parallel=%d%s", baseURL, parallel, prov)
+	createURL := fmt.Sprintf("%s/v1/sessions?parallel=%d%s", baseURL, parallel, prov)
 	var base AnalysisResponse
-	if err := postJSON(client, url, cfg, &base); err != nil {
+	if err := postJSON(client, createURL, cfg, &base); err != nil {
 		return "", fmt.Errorf("serve: replay upload: %w", err)
 	}
 	sc.Base = &base
@@ -142,9 +149,16 @@ func (sc *Script) RunHTTP(client *http.Client, baseURL string, parallel int) (st
 			return "", fmt.Errorf("serve: replay: %w", err)
 		}
 		var resp AnalysisResponse
-		stepURL := fmt.Sprintf("%s/v1/sessions/%s/%s", baseURL, base.Session, verb)
+		q := make(url.Values)
 		if sc.Provenance {
-			stepURL += "?provenance=1"
+			q.Set("provenance", "1")
+		}
+		if st.Analysis != "" {
+			q.Set("analysis", st.Analysis)
+		}
+		stepURL := fmt.Sprintf("%s/v1/sessions/%s/%s", baseURL, base.Session, verb)
+		if len(q) > 0 {
+			stepURL += "?" + q.Encode()
 		}
 		if err := postJSON(client, stepURL, body, &resp); err != nil {
 			return "", fmt.Errorf("serve: replay step %d %v: %w", i, st.Deltas, err)
@@ -227,7 +241,9 @@ func (sc *Script) VerifyCold(ctx context.Context, mode afdx.ValidationMode, para
 }
 
 // diffCold compares one recorded response against a cold run on the
-// reconstructed configuration.
+// reconstructed configuration, at the NC analysis tier the response
+// records — a served FIFO round anchors against a cold FIFO run, never
+// against the default tier.
 func diffCold(ctx context.Context, resp *AnalysisResponse, net *afdx.Network, mode afdx.ValidationMode, parallel int) ([]Mismatch, error) {
 	pg, err := afdx.BuildPortGraph(net, mode)
 	if err != nil {
@@ -235,6 +251,13 @@ func diffCold(ctx context.Context, resp *AnalysisResponse, net *afdx.Network, mo
 	}
 	ncOpts := netcalc.DefaultOptions()
 	ncOpts.Parallel = parallel
+	if resp.Analysis != "" {
+		tier, err := netcalc.ParseAnalysis(resp.Analysis)
+		if err != nil {
+			return nil, fmt.Errorf("serve: recorded round %d: %w", resp.Seq, err)
+		}
+		ncOpts.Analysis = tier
+	}
 	trOpts := trajectory.DefaultOptions()
 	trOpts.Parallel = parallel
 	cmp, err := core.CompareWithCtx(ctx, pg, ncOpts, trOpts)

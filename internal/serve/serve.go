@@ -34,6 +34,7 @@ import (
 	"afdx/internal/afdx"
 	"afdx/internal/incremental"
 	"afdx/internal/lint"
+	"afdx/internal/netcalc"
 	"afdx/internal/obs"
 	"afdx/internal/obs/oplog"
 )
@@ -192,6 +193,22 @@ func (s *Server) body(w http.ResponseWriter, r *http.Request) *http.Request {
 	return r
 }
 
+// analysisParam resolves a request's ?analysis= NC tier selection
+// through the shared netcalc parser (absent = the session default,
+// WCNC). An unknown tier is CodeUnknownAnalysis — HTTP 400, exit-code-2
+// territory, matching the CLIs' -analysis flag.
+func analysisParam(r *http.Request) (netcalc.Analysis, error) {
+	v := r.URL.Query().Get("analysis")
+	if v == "" {
+		return netcalc.AnalysisWCNC, nil
+	}
+	a, err := netcalc.ParseAnalysis(v)
+	if err != nil {
+		return 0, errf(CodeUnknownAnalysis, "%v", err)
+	}
+	return a, nil
+}
+
 // decodeErr maps a body read/decode failure to the wire vocabulary.
 func decodeErr(err error) error {
 	var tooBig *http.MaxBytesError
@@ -209,6 +226,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r = s.body(w, r)
+	tier, err := analysisParam(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	parallel := s.opts.Parallel
 	if v := r.URL.Query().Get("parallel"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -240,7 +262,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	out, err := s.mgr.submit(r.Context(), ms.id, s.analysisTask(false, nil, nil, wantProvenance(r)))
+	out, err := s.mgr.submit(r.Context(), ms.id, s.analysisTask(false, nil, nil, wantProvenance(r), tier))
 	if err != nil {
 		// A session whose base analysis failed holds no useful warm
 		// state; close it so the client can retry cleanly.
@@ -255,6 +277,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // batch, run it on the session's executor, return the round's bounds.
 func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request, commit bool) {
 	r = s.body(w, r)
+	tier, err := analysisParam(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	var req DeltaRequest
 	if err := decodeJSONBody(r, &req); err != nil {
 		writeError(w, err)
@@ -265,7 +292,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request, commit boo
 		writeError(w, err)
 		return
 	}
-	out, err := s.mgr.submit(r.Context(), r.PathValue("id"), s.analysisTask(commit, req.Deltas, ds, wantProvenance(r)))
+	out, err := s.mgr.submit(r.Context(), r.PathValue("id"), s.analysisTask(commit, req.Deltas, ds, wantProvenance(r), tier))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -283,23 +310,24 @@ func decodeJSONBody(r *http.Request, v any) error {
 }
 
 // analysisTask builds the executor closure of one analysis round: the
-// base analysis (no deltas), a peek (/whatif), or a commit (/apply).
-// It runs on the session's executor goroutine, so the Session calls
-// are serialized by construction. With prov set the response carries
-// the round's provenance record.
-func (s *Server) analysisTask(commit bool, cmds []string, ds []incremental.Delta, prov bool) func(ctx context.Context, sess *incremental.Session, ms *managed) (any, error) {
+// base analysis (no deltas), a peek (/whatif), or a commit (/apply),
+// each at the request's NC analysis tier. It runs on the session's
+// executor goroutine, so the Session calls are serialized by
+// construction. With prov set the response carries the round's
+// provenance record.
+func (s *Server) analysisTask(commit bool, cmds []string, ds []incremental.Delta, prov bool, tier netcalc.Analysis) func(ctx context.Context, sess *incremental.Session, ms *managed) (any, error) {
 	return func(ctx context.Context, sess *incremental.Session, ms *managed) (any, error) {
 		var res *incremental.Result
 		var err error
 		switch {
 		case len(ds) == 0:
-			res, err = sess.Analyze(ctx)
+			res, err = sess.AnalyzeTier(ctx, tier)
 		case commit:
 			if err = sess.Apply(ds...); err == nil {
-				res, err = sess.Analyze(ctx)
+				res, err = sess.AnalyzeTier(ctx, tier)
 			}
 		default:
-			res, err = sess.Peek(ctx, ds...)
+			res, err = sess.PeekTier(ctx, tier, ds...)
 		}
 		if err != nil {
 			var bad *incremental.BadDeltaError
@@ -316,6 +344,7 @@ func (s *Server) analysisTask(commit bool, cmds []string, ds []incremental.Delta
 			Session:   ms.id,
 			Committed: commit || len(ds) == 0,
 			Deltas:    cmds,
+			Analysis:  tier.String(),
 			Paths:     pathBounds(res.Comparison),
 		}
 		var workers int
@@ -330,7 +359,7 @@ func (s *Server) analysisTask(commit bool, cmds []string, ds []incremental.Delta
 			workers = st.parallel
 		})
 		if prov {
-			resp.Provenance = s.provenance(sess, ds, commit, workers)
+			resp.Provenance = s.provenance(sess, ds, commit, workers, tier)
 		}
 		s.mgr.metrics.rounds.Inc()
 		if commit {

@@ -196,7 +196,7 @@ func TestEvictedThenRecreatedMatchesCold(t *testing.T) {
 	// plus VerifyCold pin the eviction as semantically invisible.
 	second := &Script{Net: net.Clone()}
 	for _, st := range first.Steps {
-		second.Steps = append(second.Steps, Step{Commit: st.Commit, Deltas: st.Deltas})
+		second.Steps = append(second.Steps, Step{Commit: st.Commit, Deltas: st.Deltas, Analysis: st.Analysis})
 	}
 	if _, err := second.RunHTTP(ts.Client(), ts.URL, 0); err != nil {
 		t.Fatal(err)
